@@ -1,0 +1,107 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see EXPERIMENTS.md for the measured-vs-paper comparison at full scale).
+// Each benchmark runs its experiment at a reduced instruction budget so the
+// suite completes quickly; the cmd/malecbench tool runs them at full scale.
+package malec
+
+import (
+	"testing"
+)
+
+// benchOpt is the reduced-scale option set used by the benchmarks.
+func benchOpt(benchmarks ...string) Options {
+	return Options{Instructions: 30000, Seed: 1, Benchmarks: benchmarks}
+}
+
+// fig4Subset is a representative cross-suite subset.
+var fig4Subset = []string{"gzip", "mcf", "gap", "swim", "djpeg", "h263enc"}
+
+// BenchmarkFig1 regenerates Fig. 1 (consecutive same-page loads).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig1(benchOpt(fig4Subset...))
+	}
+}
+
+// BenchmarkMotivation regenerates the Sec. III scalars.
+func BenchmarkMotivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Motivation(benchOpt(fig4Subset...))
+	}
+}
+
+// BenchmarkFig4a regenerates Fig. 4a (normalized execution time; the same
+// grid also yields Fig. 4b, measured separately below).
+func BenchmarkFig4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := Fig4(benchOpt(fig4Subset...))
+		_ = r.TimeTable()
+	}
+}
+
+// BenchmarkFig4b regenerates Fig. 4b (normalized dynamic+leakage energy).
+func BenchmarkFig4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := Fig4(benchOpt(fig4Subset...))
+		_ = r.EnergyTable()
+	}
+}
+
+// BenchmarkWDU regenerates the Sec. VI-C WT vs WDU-8/16/32 comparison.
+func BenchmarkWDU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		WDUComparison(benchOpt("gzip", "gap", "djpeg"))
+	}
+}
+
+// BenchmarkCoverage regenerates the Sec. V feedback-update ablation.
+func BenchmarkCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CoverageAblation(benchOpt("gzip", "gap", "djpeg"))
+	}
+}
+
+// BenchmarkMerge regenerates the Sec. VI-B merge-contribution analysis.
+func BenchmarkMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MergeContribution(benchOpt("gap", "equake", "mgrid"))
+	}
+}
+
+// BenchmarkWayConstraint regenerates the Sec. V 3-of-4 way allocation
+// check.
+func BenchmarkWayConstraint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		WayConstraint(benchOpt("gzip", "djpeg"))
+	}
+}
+
+// Single-configuration microbenchmarks: simulation throughput of each L1
+// interface model on one workload.
+
+func benchmarkConfig(b *testing.B, cfg Config) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Run(cfg, "gzip", 30000, 1)
+		if r.Cycles == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkSimBase1 measures Base1ldst simulation throughput.
+func BenchmarkSimBase1(b *testing.B) { benchmarkConfig(b, Base1ldst()) }
+
+// BenchmarkSimBase2 measures Base2ld1st simulation throughput.
+func BenchmarkSimBase2(b *testing.B) { benchmarkConfig(b, Base2ld1st()) }
+
+// BenchmarkSimMALEC measures MALEC simulation throughput.
+func BenchmarkSimMALEC(b *testing.B) { benchmarkConfig(b, MALEC()) }
+
+// BenchmarkTraceGeneration measures synthetic workload generation.
+func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Generate("gzip", 30000, uint64(i+1))
+	}
+}

@@ -1,0 +1,72 @@
+// Command malecbench regenerates every table and figure of the paper's
+// evaluation and prints them as markdown.
+//
+// Usage:
+//
+//	malecbench                    # everything, default scale
+//	malecbench -exp fig4 -n 500000
+//	malecbench -exp fig1,motivation
+//	malecbench -bench gzip,mcf    # restrict the benchmark set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"malec/internal/experiments"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "comma-separated experiments: tab1,tab2,motivation,fig1,fig4,wdu,coverage,merge,wayconstraint,latency,buses,comparelimit,mergewindow,segmented,bypass")
+		n     = flag.Int("n", 300000, "instructions per benchmark")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+		bench = flag.String("bench", "", "comma-separated benchmark subset (default all)")
+		quiet = flag.Bool("quiet", false, "suppress progress notes on stderr")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Instructions: *n, Seed: *seed}
+	if *bench != "" {
+		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string, f func() string) {
+		if !all && !want[name] {
+			return
+		}
+		t0 := time.Now()
+		out := f()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+		}
+		fmt.Println(out)
+	}
+
+	run("tab1", experiments.Table1)
+	run("tab2", experiments.Table2)
+	run("motivation", func() string { return experiments.Motivation(opt).Table() })
+	run("fig1", func() string { return experiments.Fig1(opt).Table() })
+	run("fig4", func() string {
+		r := experiments.Fig4(opt)
+		return r.TimeTable() + "\n" + r.EnergyTable()
+	})
+	run("wdu", func() string { return experiments.WDUComparison(opt).Table() })
+	run("coverage", func() string { return experiments.CoverageAblation(opt).Table() })
+	run("merge", func() string { return experiments.MergeContribution(opt).Table() })
+	run("wayconstraint", func() string { return experiments.WayConstraint(opt).Table() })
+	run("latency", func() string { return experiments.LatencySensitivity(opt).Table() })
+	run("buses", func() string { return experiments.ResultBusSweep(opt).Table() })
+	run("comparelimit", func() string { return experiments.CompareLimitAblation(opt).Table() })
+	run("mergewindow", func() string { return experiments.MergeWindowAblation(opt).Table() })
+	run("segmented", func() string { return experiments.SegmentedWT(opt).Table() })
+	run("bypass", func() string { return experiments.Bypass(opt).Table() })
+}

@@ -1,0 +1,149 @@
+// Command malecsim runs one configuration against one benchmark (or a
+// trace file) and prints detailed performance and energy statistics.
+//
+// Usage:
+//
+//	malecsim -config MALEC -bench gzip -n 1000000
+//	malecsim -config Base2ld1st -trace trace.mltr
+//	malecsim -list
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"malec/internal/config"
+	"malec/internal/cpu"
+	"malec/internal/trace"
+)
+
+// configs maps CLI names to configuration constructors.
+var configs = map[string]func() config.Config{
+	"Base1ldst":           config.Base1ldst,
+	"Base2ld1st":          config.Base2ld1st,
+	"Base2ld1st_1cycleL1": config.Base2ld1st1cycleL1,
+	"MALEC":               config.MALEC,
+	"MALEC_3cycleL1":      config.MALEC3cycleL1,
+	"MALEC_noMerge":       config.MALECNoMerge,
+	"MALEC_noFeedback":    config.MALECNoFeedback,
+	"MALEC_noWT":          config.MALECNoWayDet,
+	"MALEC_WDU8":          func() config.Config { return config.MALECWithWDU(8) },
+	"MALEC_WDU16":         func() config.Config { return config.MALECWithWDU(16) },
+	"MALEC_WDU32":         func() config.Config { return config.MALECWithWDU(32) },
+	"MALEC_bypass":        config.MALECBypass,
+	"MALEC_segWT":         func() config.Config { return config.MALECSegmentedWT(16, 0.5) },
+}
+
+func main() {
+	var (
+		cfgName   = flag.String("config", "MALEC", "configuration name (see -list)")
+		bench     = flag.String("bench", "gzip", "benchmark profile name")
+		traceFile = flag.String("trace", "", "run a recorded trace instead of a synthetic benchmark")
+		n         = flag.Int("n", 500000, "instructions to simulate")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		list      = flag.Bool("list", false, "list configurations and benchmarks")
+		counters  = flag.Bool("counters", false, "dump raw event counters")
+	)
+	flag.Parse()
+
+	if *list {
+		printLists()
+		return
+	}
+	mk, ok := configs[*cfgName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "malecsim: unknown config %q (try -list)\n", *cfgName)
+		os.Exit(2)
+	}
+	cfg := mk()
+	cfg.Seed = *seed
+
+	var res cpu.Result
+	if *traceFile != "" {
+		recs, err := readTrace(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "malecsim: %v\n", err)
+			os.Exit(1)
+		}
+		res = cpu.Run(cfg, *traceFile, &cpu.SliceSource{Records: recs})
+	} else {
+		if _, ok := trace.Profiles[*bench]; !ok {
+			fmt.Fprintf(os.Stderr, "malecsim: unknown benchmark %q (try -list)\n", *bench)
+			os.Exit(2)
+		}
+		res = cpu.RunBenchmark(cfg, *bench, *n, *seed)
+	}
+	printResult(res, *counters)
+}
+
+// readTrace loads all records from a trace file.
+func readTrace(path string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := r.ReadAll()
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// printResult renders a Result.
+func printResult(r cpu.Result, counters bool) {
+	fmt.Printf("config      %s\n", r.Config)
+	fmt.Printf("benchmark   %s\n", r.Benchmark)
+	fmt.Printf("instrs      %d (loads %d, stores %d)\n", r.Instructions, r.Loads, r.Stores)
+	fmt.Printf("cycles      %d\n", r.Cycles)
+	fmt.Printf("IPC         %.3f\n", r.IPC())
+	fmt.Printf("L1          %.2f%% miss (%d hits, %d misses), %d fills, %d writebacks\n",
+		100*r.L1.MissRate(), r.L1.Hits, r.L1.Misses, r.L1.Fills, r.L1.Writebacks)
+	fmt.Printf("L1 modes    %d conventional, %d reduced reads\n",
+		r.L1.ConventionalReads, r.L1.ReducedReads)
+	fmt.Printf("uTLB        %d lookups, %.2f%% miss\n", r.UTLB.Lookups, missPct(r.UTLB))
+	fmt.Printf("TLB         %d lookups, %.2f%% miss\n", r.TLB.Lookups, missPct(r.TLB))
+	if r.CoverageTotal > 0 {
+		fmt.Printf("way-det     %.1f%% coverage (%d/%d)\n",
+			100*r.Coverage(), r.CoverageKnown, r.CoverageTotal)
+	}
+	fmt.Printf("energy:\n%s", r.Energy.String())
+	if counters {
+		fmt.Println("counters:")
+		names := r.Counters.Names()
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-36s %12d\n", n, r.Counters.Get(n))
+		}
+	}
+}
+
+func missPct(s interface{ MissRate() float64 }) float64 { return 100 * s.MissRate() }
+
+// printLists shows available configurations and benchmarks.
+func printLists() {
+	fmt.Println("configurations:")
+	names := make([]string, 0, len(configs))
+	for n := range configs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println("  " + n)
+	}
+	fmt.Println("benchmarks:")
+	for _, suite := range trace.Suites {
+		fmt.Printf("  [%s]\n", suite)
+		for _, b := range trace.Benchmarks[suite] {
+			fmt.Println("    " + b)
+		}
+	}
+}

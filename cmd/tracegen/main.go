@@ -1,0 +1,125 @@
+// Command tracegen generates synthetic benchmark traces in the MALEC
+// binary trace format, or inspects existing trace files.
+//
+// Usage:
+//
+//	tracegen -bench gzip -n 1000000 -o gzip.mltr
+//	tracegen -inspect gzip.mltr
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"malec/internal/stats"
+	"malec/internal/trace"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gzip", "benchmark profile")
+		n       = flag.Int("n", 1000000, "instructions to generate")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		out     = flag.String("o", "", "output trace file (default <bench>.mltr)")
+		inspect = flag.String("inspect", "", "inspect an existing trace instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	prof, ok := trace.Profiles[*bench]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = *bench + ".mltr"
+	}
+	if err := generate(prof, *n, *seed, path); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d records to %s\n", *n, path)
+}
+
+// generate writes a fresh synthetic trace to path.
+func generate(prof trace.Profile, n int, seed uint64, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	gen := trace.NewGenerator(prof, seed)
+	for i := 0; i < n; i++ {
+		if err := w.Write(gen.Next()); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// inspectTrace prints summary statistics of a trace file.
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var st trace.Stats
+	pl := stats.NewPageLocality(stats.Fig1Gaps)
+	branches, misp := 0, 0
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		st.Observe(rec)
+		if rec.Kind == trace.Load {
+			pl.ObserveLoad(rec.Addr)
+		}
+		if rec.Kind == trace.Branch {
+			branches++
+			if rec.Mispredict {
+				misp++
+			}
+		}
+	}
+	pl.Flush()
+	fmt.Printf("instructions  %d\n", st.Instructions)
+	fmt.Printf("loads         %d\n", st.Loads)
+	fmt.Printf("stores        %d\n", st.Stores)
+	fmt.Printf("mem ratio     %.1f%%\n", 100*st.MemRatio())
+	fmt.Printf("ld/st ratio   %.2f\n", st.LoadStoreRatio())
+	fmt.Printf("branches      %d (%.1f%% mispredicted)\n", branches,
+		100*float64(misp)/float64(max(branches, 1)))
+	fmt.Printf("page locality %.1f%% (next load same page)\n", 100*pl.FollowedSamePage())
+	fmt.Printf("line locality %.1f%% (next load same line)\n", 100*pl.FollowedSameLine())
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

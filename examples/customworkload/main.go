@@ -1,0 +1,62 @@
+// customworkload shows how to define a synthetic workload profile from
+// scratch, generate a trace from it, and compare the L1 interfaces on it —
+// the path a user takes to model their own application's memory behaviour.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"malec"
+)
+
+func main() {
+	n := flag.Int("n", 200000, "instructions")
+	pageLocality := flag.Float64("pagelocality", 0.9, "probability of staying on the current page")
+	lineLocality := flag.Float64("linelocality", 0.4, "probability of staying in the current line")
+	workingSet := flag.Int("ws", 64, "working set in pages")
+	flag.Parse()
+
+	// A custom profile: a pointer-light, locality-heavy workload.
+	prof := malec.Profile{
+		Name:              "custom",
+		Suite:             "custom",
+		MemRatio:          0.42,
+		LoadFrac:          2.0 / 3.0,
+		NumStreams:        2,
+		StreamSwitchProb:  0.2,
+		StreamStride:      16,
+		StreamRegionPages: 2,
+		SamePageProb:      *pageLocality,
+		SameLineProb:      *lineLocality,
+		SeqPageProb:       0.7,
+		RandomFrac:        0.01,
+		WorkingSetPages:   *workingSet,
+		LoadDepProb:       0.4,
+		MemDepProb:        0.1,
+		DepWindow:         32,
+		AluChainProb:      0.7,
+		BranchRatio:       0.15,
+		MispredictProb:    0.08,
+		BranchLoadDepProb: 0.5,
+		WideAccessFrac:    0.1,
+	}
+	records := malec.GenerateProfile(prof, *n, 1)
+	fmt.Printf("generated %d records (page locality %.2f, line locality %.2f, %d-page WS)\n\n",
+		len(records), *pageLocality, *lineLocality, *workingSet)
+
+	fmt.Printf("%-22s %10s %8s %14s %9s\n", "config", "cycles", "IPC", "energy [nJ]", "coverage")
+	for _, cfg := range []malec.Config{
+		malec.Base1ldst(), malec.Base2ld1st(), malec.MALEC(),
+	} {
+		r := malec.RunTrace(cfg, "custom", records)
+		cov := "-"
+		if r.CoverageTotal > 0 {
+			cov = fmt.Sprintf("%.1f%%", 100*r.Coverage())
+		}
+		fmt.Printf("%-22s %10d %8.3f %14.1f %9s\n",
+			r.Config, r.Cycles, r.IPC(), r.Energy.Total()/1000, cov)
+	}
+	fmt.Println("\nTry -pagelocality 0.5 to see MALEC's grouping advantage shrink:")
+	fmt.Println("one page per cycle only helps when consecutive accesses share pages.")
+}

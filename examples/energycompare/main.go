@@ -1,0 +1,67 @@
+// energycompare sweeps the five Fig. 4 configurations over a benchmark
+// subset and prints normalized execution time and energy (the paper's
+// headline evaluation), including the per-component energy split of one
+// benchmark to show where MALEC's savings come from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"malec"
+)
+
+func main() {
+	benchList := flag.String("bench", "gzip,gap,equake,djpeg", "comma-separated benchmarks")
+	n := flag.Int("n", 200000, "instructions per benchmark")
+	detail := flag.String("detail", "gzip", "benchmark to break down per component")
+	flag.Parse()
+
+	opt := malec.Options{Instructions: *n, Benchmarks: strings.Split(*benchList, ",")}
+	r := malec.Fig4(opt)
+
+	fmt.Println("Normalized execution time [% of Base1ldst]")
+	header(r.Grid.Configs)
+	for _, b := range r.Grid.Benchmarks {
+		fmt.Printf("%-12s", b)
+		for _, c := range r.Grid.Configs {
+			fmt.Printf(" %9.1f", 100*r.Time[c][b])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nNormalized total energy [% of Base1ldst]")
+	header(r.Grid.Configs)
+	for _, b := range r.Grid.Benchmarks {
+		fmt.Printf("%-12s", b)
+		for _, c := range r.Grid.Configs {
+			fmt.Printf(" %9.1f", 100*r.Total[c][b])
+		}
+		fmt.Println()
+	}
+
+	if res, ok := r.Grid.Results["MALEC"][*detail]; ok {
+		fmt.Printf("\nMALEC component breakdown for %s:\n%s", *detail, res.Energy.String())
+		fmt.Printf("L1 access modes: %d conventional, %d reduced (%.1f%% coverage)\n",
+			res.L1.ConventionalReads, res.L1.ReducedReads, 100*res.Coverage())
+	}
+}
+
+func header(configs []string) {
+	fmt.Printf("%-12s", "benchmark")
+	for _, c := range configs {
+		fmt.Printf(" %9s", shorten(c))
+	}
+	fmt.Println()
+}
+
+func shorten(c string) string {
+	c = strings.ReplaceAll(c, "Base", "B")
+	c = strings.ReplaceAll(c, "_1cycleL1", "-1c")
+	c = strings.ReplaceAll(c, "_3cycleL1", "-3c")
+	if len(c) > 9 {
+		c = c[:9]
+	}
+	return c
+}

@@ -1,0 +1,47 @@
+// Quickstart: simulate one benchmark on the energy-oriented baseline and on
+// MALEC, and report the headline trade-off the paper makes — similar
+// performance to a high-performance interface at roughly half the L1
+// interface energy.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"malec"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "benchmark workload")
+	n := flag.Int("n", 300000, "instructions")
+	flag.Parse()
+
+	base := malec.Run(malec.Base1ldst(), *bench, *n, 1)
+	perf := malec.Run(malec.Base2ld1st(), *bench, *n, 1)
+	prop := malec.Run(malec.MALEC(), *bench, *n, 1)
+
+	fmt.Printf("benchmark %s, %d instructions\n\n", *bench, *n)
+	fmt.Printf("%-12s %10s %8s %14s %9s\n", "config", "cycles", "IPC", "energy [nJ]", "coverage")
+	for _, r := range []malec.Result{base, perf, prop} {
+		cov := "-"
+		if r.CoverageTotal > 0 {
+			cov = fmt.Sprintf("%.1f%%", 100*r.Coverage())
+		}
+		fmt.Printf("%-12s %10d %8.3f %14.1f %9s\n",
+			r.Config, r.Cycles, r.IPC(), r.Energy.Total()/1000, cov)
+	}
+
+	speedup := func(r malec.Result) float64 {
+		return float64(base.Cycles)/float64(r.Cycles) - 1
+	}
+	energy := func(r malec.Result) float64 {
+		return r.Energy.Total()/base.Energy.Total() - 1
+	}
+	fmt.Printf("\nvs %s:\n", base.Config)
+	fmt.Printf("  %-12s %+6.1f%% performance, %+6.1f%% energy\n",
+		perf.Config, 100*speedup(perf), 100*energy(perf))
+	fmt.Printf("  %-12s %+6.1f%% performance, %+6.1f%% energy\n",
+		prop.Config, 100*speedup(prop), 100*energy(prop))
+	fmt.Printf("\nMALEC vs Base2ld1st energy: %+.1f%%\n",
+		100*(prop.Energy.Total()/perf.Energy.Total()-1))
+}

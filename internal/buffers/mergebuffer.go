@@ -1,0 +1,140 @@
+package buffers
+
+import "malec/internal/mem"
+
+// MBE is an evicted merge-buffer entry on its way to the L1: a line-aligned
+// virtual address plus the byte mask to be written.
+type MBE struct {
+	LineVA mem.Addr
+	Mask   uint64 // one bit per byte of the 64 byte line
+}
+
+// MBStats counts merge-buffer activity.
+type MBStats struct {
+	Inserts   uint64 // stores entering the MB
+	Merges    uint64 // stores coalesced into an existing entry
+	Evictions uint64 // MBEs produced (eventual L1 writes)
+	Lookups   uint64 // load forwarding searches
+	Forwards  uint64
+}
+
+// MergeBuffer coalesces committed stores per cache line. When a store to a
+// new line arrives while the buffer is full, the oldest entry is evicted as
+// an MBE (FIFO), which the L1 interface writes back when it wins access.
+type MergeBuffer struct {
+	cap     int
+	entries []mbEntry // FIFO order: index 0 is oldest
+	pending []MBE     // evicted entries awaiting L1 write
+	stats   MBStats
+}
+
+type mbEntry struct {
+	lineVA mem.Addr
+	mask   uint64
+}
+
+// NewMergeBuffer returns a merge buffer with the given capacity (4 in the
+// paper).
+func NewMergeBuffer(capacity int) *MergeBuffer { return &MergeBuffer{cap: capacity} }
+
+// Len returns the number of live entries.
+func (b *MergeBuffer) Len() int { return len(b.entries) }
+
+// PendingMBEs returns the number of evicted entries awaiting L1 writes.
+func (b *MergeBuffer) PendingMBEs() int { return len(b.pending) }
+
+// Stats returns a copy of the activity counters.
+func (b *MergeBuffer) Stats() MBStats { return b.stats }
+
+// CanAccept reports whether a store to va can enter without overflowing the
+// pending-MBE backlog. A store merging into an existing line always fits;
+// a new line fits if there is a free entry or an eviction slot (bounded
+// backlog keeps the model finite).
+func (b *MergeBuffer) CanAccept(va mem.Addr) bool {
+	line := va.LineAddr()
+	for i := range b.entries {
+		if b.entries[i].lineVA == line {
+			return true
+		}
+	}
+	return len(b.pending) < 2*b.cap
+}
+
+// mask returns the byte mask of an access within its line.
+func maskFor(va mem.Addr, size uint8) uint64 {
+	off := va.LineOffset()
+	n := uint32(size)
+	if off+n > mem.LineSize {
+		n = mem.LineSize - off // truncate line-crossing stores (rare)
+	}
+	var m uint64
+	for i := uint32(0); i < n; i++ {
+		m |= 1 << (off + i)
+	}
+	return m
+}
+
+// Insert coalesces a committed store. Callers must check CanAccept first.
+func (b *MergeBuffer) Insert(va mem.Addr, size uint8) {
+	b.stats.Inserts++
+	line := va.LineAddr()
+	m := maskFor(va, size)
+	for i := range b.entries {
+		if b.entries[i].lineVA == line {
+			b.entries[i].mask |= m
+			b.stats.Merges++
+			return
+		}
+	}
+	if len(b.entries) >= b.cap {
+		b.evictOldest()
+	}
+	b.entries = append(b.entries, mbEntry{lineVA: line, mask: m})
+}
+
+// evictOldest turns the oldest entry into a pending MBE.
+func (b *MergeBuffer) evictOldest() {
+	e := b.entries[0]
+	b.entries = b.entries[1:]
+	b.pending = append(b.pending, MBE{LineVA: e.lineVA, Mask: e.mask})
+	b.stats.Evictions++
+}
+
+// NextMBE returns the oldest pending MBE without removing it.
+func (b *MergeBuffer) NextMBE() (MBE, bool) {
+	if len(b.pending) == 0 {
+		return MBE{}, false
+	}
+	return b.pending[0], true
+}
+
+// PopMBE removes the oldest pending MBE after the L1 write completed.
+func (b *MergeBuffer) PopMBE() {
+	if len(b.pending) == 0 {
+		panic("buffers: PopMBE on empty backlog")
+	}
+	b.pending = b.pending[1:]
+}
+
+// Forward checks whether a load at va/size is fully covered by merged store
+// bytes (MB forwarding).
+func (b *MergeBuffer) Forward(va mem.Addr, size uint8) bool {
+	b.stats.Lookups++
+	line := va.LineAddr()
+	need := maskFor(va, size)
+	for i := range b.entries {
+		if b.entries[i].lineVA == line && b.entries[i].mask&need == need {
+			b.stats.Forwards++
+			return true
+		}
+	}
+	return false
+}
+
+// Drain evicts all live entries into the pending backlog (used at end of
+// simulation).
+func (b *MergeBuffer) Drain() {
+	for len(b.entries) > 0 {
+		b.evictOldest()
+	}
+}

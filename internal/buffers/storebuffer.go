@@ -1,0 +1,156 @@
+// Package buffers implements the load/store-side queues of the L1
+// interface: the load queue (LQ), the store buffer (SB) holding speculative
+// stores until commit, and the merge buffer (MB) coalescing committed
+// stores per cache line before they are written to the L1 (paper Tab. II:
+// 40 LQ entries, 24 SB entries, 4 MB entries).
+//
+// Data values are not simulated; forwarding decisions are made from address
+// ranges, which is sufficient for timing and energy accounting.
+package buffers
+
+import (
+	"malec/internal/mem"
+)
+
+// SBEntry is one speculative store awaiting commit.
+type SBEntry struct {
+	Seq  uint64
+	VA   mem.Addr
+	Size uint8
+	// Committed marks entries whose instruction retired and which are
+	// waiting for merge-buffer space.
+	Committed bool
+}
+
+// SBStats counts store-buffer activity.
+type SBStats struct {
+	Inserts      uint64
+	Lookups      uint64 // load forwarding searches
+	ForwardHits  uint64 // loads fully covered by a store
+	PartialHits  uint64 // overlapping but not covering (conservatively no forward)
+	CommitStalls uint64 // commits delayed by a full merge buffer
+}
+
+// StoreBuffer holds speculative stores in program order.
+type StoreBuffer struct {
+	cap     int
+	entries []SBEntry
+	stats   SBStats
+}
+
+// NewStoreBuffer returns a store buffer with the given capacity.
+func NewStoreBuffer(capacity int) *StoreBuffer {
+	return &StoreBuffer{cap: capacity}
+}
+
+// Len returns the current occupancy.
+func (b *StoreBuffer) Len() int { return len(b.entries) }
+
+// Full reports whether the buffer can accept no more stores.
+func (b *StoreBuffer) Full() bool { return len(b.entries) >= b.cap }
+
+// Stats returns a copy of the activity counters.
+func (b *StoreBuffer) Stats() SBStats { return b.stats }
+
+// Insert appends a store finishing address computation. It returns false
+// (structural stall) when full.
+func (b *StoreBuffer) Insert(seq uint64, va mem.Addr, size uint8) bool {
+	if b.Full() {
+		return false
+	}
+	b.entries = append(b.entries, SBEntry{Seq: seq, VA: va, Size: size})
+	b.stats.Inserts++
+	return true
+}
+
+// Commit marks the store with sequence number seq as committed (its
+// instruction retired). Committed entries drain to the merge buffer in
+// order via DrainCommitted.
+func (b *StoreBuffer) Commit(seq uint64) {
+	for i := range b.entries {
+		if b.entries[i].Seq == seq {
+			b.entries[i].Committed = true
+			return
+		}
+	}
+}
+
+// DrainCommitted moves committed entries (in order, from the head) into the
+// merge buffer while mb accepts them. Entries blocked by a full MB remain.
+func (b *StoreBuffer) DrainCommitted(mb *MergeBuffer) {
+	for len(b.entries) > 0 && b.entries[0].Committed {
+		e := b.entries[0]
+		if !mb.CanAccept(e.VA) {
+			b.stats.CommitStalls++
+			return
+		}
+		mb.Insert(e.VA, e.Size)
+		b.entries = b.entries[1:]
+	}
+}
+
+// overlaps reports whether [aStart,aEnd) and [bStart,bEnd) intersect.
+func overlaps(aStart, aEnd, bStart, bEnd uint64) bool {
+	return aStart < bEnd && bStart < aEnd
+}
+
+// Forward checks whether a load at va/size can be serviced by a buffered
+// store. It returns full=true when some single store covers the load
+// completely (forwarding), and partial=true when stores overlap the load
+// without covering it (the conservative model falls back to the cache).
+func (b *StoreBuffer) Forward(va mem.Addr, size uint8) (full, partial bool) {
+	b.stats.Lookups++
+	ls, le := uint64(va.Canon()), uint64(va.Canon())+uint64(size)
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		e := &b.entries[i]
+		ss, se := uint64(e.VA.Canon()), uint64(e.VA.Canon())+uint64(e.Size)
+		if ss <= ls && le <= se {
+			b.stats.ForwardHits++
+			return true, false
+		}
+		if overlaps(ls, le, ss, se) {
+			partial = true
+		}
+	}
+	if partial {
+		b.stats.PartialHits++
+	}
+	return false, partial
+}
+
+// LoadQueue bounds the number of in-flight loads (allocation at dispatch,
+// release at completion).
+type LoadQueue struct {
+	cap  int
+	used int
+	peak int
+}
+
+// NewLoadQueue returns a load queue with the given capacity.
+func NewLoadQueue(capacity int) *LoadQueue { return &LoadQueue{cap: capacity} }
+
+// TryAlloc claims a slot, reporting false when the queue is full.
+func (q *LoadQueue) TryAlloc() bool {
+	if q.used >= q.cap {
+		return false
+	}
+	q.used++
+	if q.used > q.peak {
+		q.peak = q.used
+	}
+	return true
+}
+
+// Release frees a slot.
+func (q *LoadQueue) Release() {
+	if q.used == 0 {
+		panic("buffers: LoadQueue release underflow")
+	}
+	q.used--
+}
+
+// Len returns current occupancy; Peak the high-water mark.
+func (q *LoadQueue) Len() int { return q.used }
+
+// Peak returns the maximum occupancy observed.
+func (q *LoadQueue) Peak() int { return q.peak }

@@ -1,0 +1,133 @@
+package cache
+
+import "malec/internal/mem"
+
+// L2 is a set-associative latency/hit model of the unified L2 cache. The
+// paper keeps L2 and below out of the energy accounting ("MALEC alters the
+// timing of L2 accesses, but does not significantly impact their number or
+// miss rate"), so the L2 tracks residency and counts only.
+type L2 struct {
+	ways  int
+	sets  int
+	lines [][]Line
+	lru   [][]uint64
+	clock uint64
+
+	Latency     int // cycles added on an L1 miss that hits L2
+	accesses    uint64
+	hits        uint64
+	misses      uint64
+	writebacks  uint64
+	fillsFromLo uint64
+}
+
+// L2Stats summarizes L2 activity.
+type L2Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// NewL2 returns the paper's 1 MByte 16-way, 12-cycle L2.
+func NewL2() *L2 { return NewL2Custom(1<<20, 16, 12) }
+
+// NewL2Custom returns an L2 with explicit capacity/associativity/latency.
+func NewL2Custom(capacity, ways, latency int) *L2 {
+	sets := capacity / (mem.LineSize * ways)
+	if sets <= 0 {
+		panic("cache: L2 too small")
+	}
+	l := &L2{ways: ways, sets: sets, Latency: latency}
+	l.lines = make([][]Line, sets)
+	l.lru = make([][]uint64, sets)
+	for i := range l.lines {
+		l.lines[i] = make([]Line, ways)
+		l.lru[i] = make([]uint64, ways)
+	}
+	return l
+}
+
+// Stats returns the L2 activity counters.
+func (l *L2) Stats() L2Stats {
+	return L2Stats{Accesses: l.accesses, Hits: l.hits, Misses: l.misses,
+		Writebacks: l.writebacks}
+}
+
+func (l *L2) set(pa mem.Addr) int {
+	return int((uint64(pa.Canon()) >> mem.LineShift) % uint64(l.sets))
+}
+
+// Access looks up pa, filling on miss, and reports whether it hit.
+func (l *L2) Access(pa mem.Addr) (hit bool) {
+	l.accesses++
+	s := l.set(pa)
+	target := pa.LineAddr()
+	for w := range l.lines[s] {
+		if l.lines[s][w].Valid && l.lines[s][w].PLine == target {
+			l.hits++
+			l.clock++
+			l.lru[s][w] = l.clock
+			return true
+		}
+	}
+	l.misses++
+	// Fill (LRU victim).
+	way := 0
+	for w := 1; w < l.ways; w++ {
+		if l.lru[s][w] < l.lru[s][way] {
+			way = w
+		}
+	}
+	l.lines[s][way] = Line{Valid: true, PLine: target}
+	l.clock++
+	l.lru[s][way] = l.clock
+	return false
+}
+
+// Writeback absorbs a dirty L1 line (allocate on write).
+func (l *L2) Writeback(pa mem.Addr) {
+	l.writebacks++
+	l.Access(pa) // ensure residency; counts as an access
+}
+
+// DRAM models main memory as a fixed additional latency.
+type DRAM struct {
+	Latency  int
+	accesses uint64
+}
+
+// NewDRAM returns the paper's 54-cycle DRAM model.
+func NewDRAM() *DRAM { return &DRAM{Latency: 54} }
+
+// Access counts one DRAM access and returns its latency.
+func (d *DRAM) Access() int {
+	d.accesses++
+	return d.Latency
+}
+
+// Accesses returns the access count.
+func (d *DRAM) Accesses() uint64 { return d.accesses }
+
+// Backside bundles everything behind the L1: it converts an L1 miss into an
+// additional latency and keeps residency of lower levels coherent.
+type Backside struct {
+	L2   *L2
+	DRAM *DRAM
+}
+
+// NewBackside returns a Backside with the paper's L2 and DRAM parameters.
+func NewBackside() *Backside { return &Backside{L2: NewL2(), DRAM: NewDRAM()} }
+
+// Miss services an L1 miss for pa and returns the extra cycles beyond the
+// L1 access itself.
+func (b *Backside) Miss(pa mem.Addr) int {
+	lat := b.L2.Latency
+	if !b.L2.Access(pa) {
+		lat += b.DRAM.Access()
+	}
+	return lat
+}
+
+// Writeback forwards a dirty L1 victim to the L2.
+func (b *Backside) Writeback(pa mem.Addr) { b.L2.Writeback(pa) }

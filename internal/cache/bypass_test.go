@@ -1,0 +1,78 @@
+package cache
+
+import (
+	"testing"
+
+	"malec/internal/mem"
+)
+
+func TestDetectorColdStart(t *testing.T) {
+	d := NewStreamDetector(64)
+	if d.ShouldBypass(1) {
+		t.Fatal("cold detector must not bypass")
+	}
+}
+
+func TestDetectorStreamingPhase(t *testing.T) {
+	d := NewStreamDetector(64)
+	// Persistent misses over many pages: a streaming phase.
+	for i := 0; i < 2000; i++ {
+		d.Observe(mem.PageID(i%500), true)
+	}
+	if d.GlobalMissRate() < 0.9 {
+		t.Fatalf("miss rate %v after all-miss stream", d.GlobalMissRate())
+	}
+	bypass := 0
+	for i := 0; i < 320; i++ {
+		if d.ShouldBypass(mem.PageID(1000 + i)) {
+			bypass++
+		}
+	}
+	// ~31/32 of candidates bypass; the rest are probes.
+	if bypass < 280 || bypass == 320 {
+		t.Fatalf("bypassed %d/320, want most-but-not-all (probing)", bypass)
+	}
+	if d.Bypassed() == 0 {
+		t.Fatal("bypass counter not incremented")
+	}
+}
+
+func TestDetectorHitPhaseNeverBypasses(t *testing.T) {
+	d := NewStreamDetector(64)
+	for i := 0; i < 2000; i++ {
+		d.Observe(mem.PageID(i%4), i%20 == 0) // 5% misses
+	}
+	for i := 0; i < 100; i++ {
+		if d.ShouldBypass(mem.PageID(i)) {
+			t.Fatal("bypassed during a cache-friendly phase")
+		}
+	}
+}
+
+func TestDetectorProtectsHotRegions(t *testing.T) {
+	d := NewStreamDetector(64)
+	hot := mem.PageID(3)
+	// Streaming phase overall, but one region hits consistently.
+	for i := 0; i < 4000; i++ {
+		if i%3 == 0 {
+			d.Observe(hot, false)
+		} else {
+			d.Observe(mem.PageID(1000+i), true)
+		}
+	}
+	if !d.ShouldBypass(mem.PageID(5000)) && !d.ShouldBypass(mem.PageID(5001)) {
+		t.Fatal("cold pages should bypass during a streaming phase")
+	}
+	if d.ShouldBypass(hot) {
+		t.Fatal("hot region bypassed despite hit history")
+	}
+}
+
+func TestDetectorBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStreamDetector(48)
+}

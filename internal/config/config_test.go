@@ -1,0 +1,92 @@
+package config
+
+import "testing"
+
+func TestTab2Defaults(t *testing.T) {
+	for _, c := range Fig4Configs() {
+		if c.ROB != 168 || c.FetchWidth != 6 || c.IssueWidth != 8 {
+			t.Fatalf("%s: core parameters differ from Tab. II: %+v", c.Name, c)
+		}
+		if c.LQ != 40 || c.SB != 24 || c.MB != 4 {
+			t.Fatalf("%s: queue sizes differ from Tab. II", c.Name)
+		}
+		if c.TLBEntries != 64 || c.UTLBEntries != 16 {
+			t.Fatalf("%s: TLB sizes differ from Tab. II", c.Name)
+		}
+	}
+}
+
+func TestTab1Ports(t *testing.T) {
+	b1 := Base1ldst()
+	if b1.AGUTotal != 1 || b1.L1ExtraPorts != 0 || b1.TLBExtraPorts != 0 {
+		t.Fatalf("Base1ldst wrong: %+v", b1)
+	}
+	b2 := Base2ld1st()
+	if b2.AGULoads != 2 || b2.AGUStores != 1 || b2.L1ExtraPorts != 1 || b2.TLBExtraPorts != 2 {
+		t.Fatalf("Base2ld1st wrong: %+v", b2)
+	}
+	m := MALEC()
+	if m.AGUTotal != 3 || m.AGUStores != 2 || m.L1ExtraPorts != 0 || m.TLBExtraPorts != 0 {
+		t.Fatalf("MALEC wrong: %+v", m)
+	}
+	if m.MaxLoadsPerCycle != 4 || m.MergeWindowBytes != 32 || m.MergeCompareLimit != 3 {
+		t.Fatalf("MALEC arbitration parameters wrong: %+v", m)
+	}
+	if m.WayDet != WayDetPageWT || !m.ConstrainWays || !m.FeedbackUpdate {
+		t.Fatalf("MALEC way determination wrong: %+v", m)
+	}
+}
+
+func TestLatencyVariants(t *testing.T) {
+	if Base2ld1st().L1Latency != 2 || MALEC().L1Latency != 2 {
+		t.Fatal("default L1 latency must be 2 cycles (Tab. II)")
+	}
+	if Base2ld1st1cycleL1().L1Latency != 1 {
+		t.Fatal("1-cycle variant wrong")
+	}
+	if MALEC3cycleL1().L1Latency != 3 {
+		t.Fatal("3-cycle variant wrong")
+	}
+}
+
+func TestVariantConstructors(t *testing.T) {
+	w := MALECWithWDU(16)
+	if w.WayDet != WayDetWDU || w.WDUEntries != 16 || w.WDUPorts != 4 {
+		t.Fatalf("WDU variant wrong: %+v", w)
+	}
+	if w.Name != "MALEC_WDU16" {
+		t.Fatalf("WDU name %q", w.Name)
+	}
+	if w.ConstrainWays {
+		t.Fatal("WDU variant must not constrain ways")
+	}
+	if MALECNoFeedback().FeedbackUpdate {
+		t.Fatal("no-feedback variant wrong")
+	}
+	nm := MALECNoMerge()
+	if nm.MergeCompareLimit != 0 || nm.MergeWindowBytes != 0 {
+		t.Fatal("no-merge variant wrong")
+	}
+	if MALECNoWayDet().WayDet != WayDetNone {
+		t.Fatal("no-WT variant wrong")
+	}
+}
+
+func TestFig4Order(t *testing.T) {
+	names := []string{}
+	for _, c := range Fig4Configs() {
+		names = append(names, c.Name)
+	}
+	want := []string{"Base1ldst", "Base2ld1st_1cycleL1", "Base2ld1st", "MALEC", "MALEC_3cycleL1"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Fig4Configs order %v, want %v", names, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindBase1.String() != "base1ldst" || KindMALEC.String() != "malec" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,407 @@
+// Package cpu implements the trace-driven cycle-level out-of-order core
+// model that drives the L1 interfaces: a 168-entry ROB, 6-wide
+// fetch/dispatch and commit, 8-wide issue, dependency-scoreboarded
+// execution, a bounded load queue, and store commit into the store buffer
+// (paper Tab. II). It substitutes for the paper's gem5 setup: only the
+// *relative* timing across L1 interface variants matters, which the model
+// exposes through the same widths, latencies and structural limits.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"malec/internal/buffers"
+	"malec/internal/cache"
+	"malec/internal/config"
+	"malec/internal/core"
+	"malec/internal/energy"
+	"malec/internal/mem"
+	"malec/internal/stats"
+	"malec/internal/tlb"
+	"malec/internal/trace"
+)
+
+// Source supplies trace records. Next reports ok=false at end of trace.
+type Source interface {
+	Next() (rec trace.Record, ok bool)
+}
+
+// SliceSource adapts a materialized trace.
+type SliceSource struct {
+	Records []trace.Record
+	pos     int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (trace.Record, bool) {
+	if s.pos >= len(s.Records) {
+		return trace.Record{}, false
+	}
+	r := s.Records[s.pos]
+	s.pos++
+	return r, true
+}
+
+// GenSource adapts a generator bounded to n records.
+type GenSource struct {
+	Gen  *trace.Generator
+	N    int
+	done int
+}
+
+// Next implements Source.
+func (s *GenSource) Next() (trace.Record, bool) {
+	if s.done >= s.N {
+		return trace.Record{}, false
+	}
+	s.done++
+	return s.Gen.Next(), true
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Config    string
+	Benchmark string
+
+	Cycles       uint64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	Energy energy.Breakdown
+	L1     cache.Stats
+	L2     cache.L2Stats
+	UTLB   tlb.Stats
+	TLB    tlb.Stats
+
+	CoverageKnown uint64
+	CoverageTotal uint64
+
+	Counters *stats.Counters
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Coverage returns the way-determination coverage ratio.
+func (r Result) Coverage() float64 {
+	if r.CoverageTotal == 0 {
+		return 0
+	}
+	return float64(r.CoverageKnown) / float64(r.CoverageTotal)
+}
+
+// unknownDone marks instructions whose completion cycle is not yet known.
+const unknownDone = math.MaxInt64 / 2
+
+// doneWindow is the size of the completion-time ring; it must exceed
+// ROB size + maximum dependency distance.
+const doneWindow = 4096
+
+// instr is one in-flight instruction.
+type instr struct {
+	rec    trace.Record
+	seq    uint64
+	issued bool
+	done   int64
+}
+
+// machine is the transient simulation state.
+type machine struct {
+	cfg    config.Config
+	iface  core.Interface
+	src    Source
+	lq     *buffers.LoadQueue
+	rob    []instr
+	doneAt [doneWindow]int64
+	seq    uint64
+	cycle  int64
+
+	instructions uint64
+	loads        uint64
+	stores       uint64
+	srcDone      bool
+
+	// pending holds a record pulled from the source that could not be
+	// dispatched (load queue full); it is retried before pulling more.
+	pending    trace.Record
+	hasPending bool
+
+	// redirectSeq, when non-zero, is the sequence number of an in-flight
+	// mispredicted branch: dispatch stalls until it resolves, then pays
+	// the front-end refill penalty (redirectUntil).
+	redirectSeq   uint64
+	redirectUntil int64
+}
+
+// frontendRefill is the pipeline refill penalty after a branch
+// misprediction resolves, in cycles.
+const frontendRefill = 20
+
+// Run simulates src to completion on the machine described by cfg and
+// returns the collected results.
+func Run(cfg config.Config, benchmark string, src Source) Result {
+	m := &machine{cfg: cfg, iface: core.New(cfg), src: src,
+		lq: buffers.NewLoadQueue(cfg.LQ)}
+	for i := range m.doneAt {
+		m.doneAt[i] = 0 // pre-history: always ready
+	}
+	m.run()
+	return m.result(benchmark)
+}
+
+// run executes the cycle loop. A stall detector panics with a state dump if
+// nothing makes progress for a long stretch (a model bug, never a valid
+// simulation outcome).
+func (m *machine) run() {
+	lastProgress := int64(0)
+	lastState := ""
+	for {
+		m.cycle++
+		progressed := false
+		for _, c := range m.iface.Tick() {
+			m.complete(c.Seq)
+			progressed = true
+		}
+		if m.retire() > 0 {
+			progressed = true
+		}
+		if m.issue() > 0 {
+			progressed = true
+		}
+		before := m.instructions
+		m.dispatch()
+		if m.instructions != before {
+			progressed = true
+		}
+		if progressed {
+			lastProgress = m.cycle
+		} else if m.cycle-lastProgress > 100000 {
+			state := m.stateDump()
+			if state == lastState {
+				panic("cpu: deadlock detected\n" + state)
+			}
+			lastState = state
+			lastProgress = m.cycle
+		}
+		if m.srcDone && len(m.rob) == 0 {
+			// Keep flushing: store-buffer entries committed on the last
+			// retire cycles drain into the merge buffer afterwards.
+			m.iface.Flush()
+			if m.iface.Pending() == 0 && m.iface.Idle() {
+				return
+			}
+		}
+	}
+}
+
+// stateDump renders the stalled machine state for deadlock diagnostics.
+func (m *machine) stateDump() string {
+	head := "empty"
+	if len(m.rob) > 0 {
+		in := m.rob[0]
+		head = fmt.Sprintf("seq=%d kind=%v issued=%v done=%d ready=%v",
+			in.seq, in.rec.Kind, in.issued, in.done, m.ready(&in))
+	}
+	return fmt.Sprintf(
+		"rob=%d head={%s} lq=%d pendingLoads=%d srcDone=%v idle=%v instrs=%d",
+		len(m.rob), head, m.lq.Len(), m.iface.Pending(), m.srcDone,
+		m.iface.Idle(), m.instructions)
+}
+
+// complete marks a load's result available.
+func (m *machine) complete(seq uint64) {
+	m.doneAt[seq%doneWindow] = m.cycle
+	for i := range m.rob {
+		if m.rob[i].seq == seq {
+			m.rob[i].done = m.cycle
+			break
+		}
+	}
+	m.lq.Release()
+}
+
+// retire commits finished instructions in order, up to CommitWidth. It
+// returns the number of instructions retired.
+func (m *machine) retire() int {
+	n := 0
+	for len(m.rob) > 0 && n < m.cfg.CommitWidth {
+		head := &m.rob[0]
+		if !head.issued || head.done > m.cycle {
+			return n
+		}
+		if head.rec.Kind == trace.Store {
+			m.iface.CommitStore(head.seq)
+		}
+		m.rob = m.rob[1:]
+		n++
+	}
+	return n
+}
+
+// ready reports whether an instruction's producers have completed.
+func (m *machine) ready(in *instr) bool {
+	for _, d := range [2]uint32{in.rec.Dep1, in.rec.Dep2} {
+		if d == 0 || uint64(d) > in.seq {
+			continue
+		}
+		if m.doneAt[(in.seq-uint64(d))%doneWindow] > m.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// issue selects up to IssueWidth ready instructions, oldest first. Memory
+// operations additionally require the L1 interface to accept them (address
+// computation unit and buffer availability). Stores issue in program order
+// among themselves: store-buffer entries are allocated oldest-first, which
+// (as in real store queues) makes SB-full stalls deadlock-free.
+func (m *machine) issue() int {
+	issued := 0
+	storeBlocked := false
+	for i := range m.rob {
+		if issued >= m.cfg.IssueWidth {
+			return issued
+		}
+		in := &m.rob[i]
+		if in.issued || !m.ready(in) {
+			if !in.issued && in.rec.Kind == trace.Store {
+				storeBlocked = true
+			}
+			continue
+		}
+		switch in.rec.Kind {
+		case trace.Op, trace.Branch:
+			in.issued = true
+			in.done = m.cycle + 1
+			m.doneAt[in.seq%doneWindow] = in.done
+			issued++
+		case trace.Load:
+			if !m.iface.TryIssue(core.Request{Seq: in.seq, Kind: mem.Load,
+				VA: in.rec.Addr, Size: in.rec.Size}) {
+				continue
+			}
+			in.issued = true
+			in.done = unknownDone
+			m.doneAt[in.seq%doneWindow] = unknownDone
+			issued++
+		case trace.Store:
+			if storeBlocked {
+				continue // an older store has not issued yet
+			}
+			if !m.iface.TryIssue(core.Request{Seq: in.seq, Kind: mem.Store,
+				VA: in.rec.Addr, Size: in.rec.Size}) {
+				storeBlocked = true
+				continue
+			}
+			in.issued = true
+			in.done = m.cycle + 1
+			m.doneAt[in.seq%doneWindow] = in.done
+			issued++
+		}
+	}
+	return issued
+}
+
+// dispatch fills the ROB from the trace, up to FetchWidth per cycle. Loads
+// require a load queue slot; a mispredicted branch blocks dispatch until it
+// resolves plus the refill penalty.
+func (m *machine) dispatch() {
+	if m.srcDone {
+		return
+	}
+	if m.redirectSeq != 0 {
+		done := m.doneAt[m.redirectSeq%doneWindow]
+		if done > m.cycle {
+			return // branch not resolved yet
+		}
+		if m.redirectUntil == 0 {
+			m.redirectUntil = done + frontendRefill
+		}
+		if m.cycle < m.redirectUntil {
+			return // refilling the front end
+		}
+		m.redirectSeq, m.redirectUntil = 0, 0
+	}
+	for n := 0; n < m.cfg.FetchWidth && len(m.rob) < m.cfg.ROB; n++ {
+		var rec trace.Record
+		if m.hasPending {
+			rec = m.pending
+		} else {
+			var ok bool
+			rec, ok = m.src.Next()
+			if !ok {
+				m.srcDone = true
+				return
+			}
+		}
+		if rec.Kind == trace.Load && !m.lq.TryAlloc() {
+			// LQ full: stall dispatch, retrying this record next cycle.
+			m.pending = rec
+			m.hasPending = true
+			return
+		}
+		m.hasPending = false
+		m.seq++
+		in := instr{rec: rec, seq: m.seq, done: unknownDone}
+		m.doneAt[m.seq%doneWindow] = unknownDone
+		m.rob = append(m.rob, in)
+		m.instructions++
+		switch rec.Kind {
+		case trace.Load:
+			m.loads++
+		case trace.Store:
+			m.stores++
+		case trace.Branch:
+			if rec.Mispredict {
+				// Wrong-path work is not simulated; the stall spans
+				// resolution plus refill.
+				m.redirectSeq = m.seq
+				m.redirectUntil = 0
+				return
+			}
+		}
+	}
+}
+
+// result gathers final statistics.
+func (m *machine) result(benchmark string) Result {
+	sys := m.iface.System()
+	known, total := sys.Det.Coverage()
+	return Result{
+		Config:        m.cfg.Name,
+		Benchmark:     benchmark,
+		Cycles:        uint64(m.cycle),
+		Instructions:  m.instructions,
+		Loads:         m.loads,
+		Stores:        m.stores,
+		Energy:        m.iface.Meter().Finish(uint64(m.cycle)),
+		L1:            sys.L1.Stats(),
+		L2:            sys.Back.L2.Stats(),
+		UTLB:          sys.Hier.U.Stats(),
+		TLB:           sys.Hier.Main.Stats(),
+		CoverageKnown: known,
+		CoverageTotal: total,
+		Counters:      m.iface.Counters(),
+	}
+}
+
+// RunBenchmark generates a fresh trace for the named benchmark profile and
+// simulates it on cfg. instructions bounds the trace length; seed
+// determines the workload (the same seed yields the same trace for every
+// configuration, which the cross-config comparisons rely on).
+func RunBenchmark(cfg config.Config, benchmark string, instructions int, seed uint64) Result {
+	prof, ok := trace.Profiles[benchmark]
+	if !ok {
+		panic(fmt.Sprintf("cpu: unknown benchmark %q", benchmark))
+	}
+	gen := trace.NewGenerator(prof, seed)
+	return Run(cfg, benchmark, &GenSource{Gen: gen, N: instructions})
+}

@@ -1,0 +1,183 @@
+package cpu
+
+import (
+	"bytes"
+	"testing"
+
+	"malec/internal/config"
+	"malec/internal/trace"
+)
+
+// allConfigs returns every preset for integration sweeps.
+func allConfigs() []config.Config {
+	return []config.Config{
+		config.Base1ldst(),
+		config.Base2ld1st(),
+		config.Base2ld1st1cycleL1(),
+		config.MALEC(),
+		config.MALEC3cycleL1(),
+		config.MALECWithWDU(16),
+		config.MALECNoMerge(),
+		config.MALECNoFeedback(),
+		config.MALECNoWayDet(),
+		config.MALECSegmentedWT(16, 0.5),
+	}
+}
+
+func TestAllConfigsRunToCompletion(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			r := RunBenchmark(cfg, "gzip", 20000, 2)
+			if r.Instructions != 20000 {
+				t.Fatalf("retired %d instructions, want 20000", r.Instructions)
+			}
+			if r.Cycles == 0 || r.IPC() <= 0 {
+				t.Fatalf("degenerate run: %+v", r)
+			}
+			if r.Energy.Total() <= 0 {
+				t.Fatal("no energy accounted")
+			}
+		})
+	}
+}
+
+func TestSameTraceSameMemoryBehaviour(t *testing.T) {
+	// The L1 miss count is a property of the reference stream (plus small
+	// way-constraint and merge effects), so it must be similar across
+	// interface variants running the identical trace.
+	base := RunBenchmark(config.Base1ldst(), "gzip", 50000, 3)
+	mal := RunBenchmark(config.MALEC(), "gzip", 50000, 3)
+	if base.Loads != mal.Loads || base.Stores != mal.Stores {
+		t.Fatalf("trace diverged: %d/%d loads, %d/%d stores",
+			base.Loads, mal.Loads, base.Stores, mal.Stores)
+	}
+	bm, mm := float64(base.L1.Misses), float64(mal.L1.Misses)
+	if mm > 2*bm+100 || bm > 2*mm+100 {
+		t.Fatalf("miss counts diverged: base %v vs malec %v", bm, mm)
+	}
+}
+
+func TestLatencyMonotonicity(t *testing.T) {
+	var prev uint64
+	for i, lat := range []int{1, 2, 3, 4} {
+		cfg := config.MALEC()
+		cfg.L1Latency = lat
+		r := RunBenchmark(cfg, "gap", 30000, 4)
+		if i > 0 && r.Cycles+50 < prev {
+			t.Fatalf("latency %d faster than %d: %d vs %d cycles",
+				lat, lat-1, r.Cycles, prev)
+		}
+		prev = r.Cycles
+	}
+}
+
+func TestMispredictStallsCostCycles(t *testing.T) {
+	// Identical instruction mix, with and without mispredicted branches.
+	mk := func(misp bool) []trace.Record {
+		recs := make([]trace.Record, 0, 4000)
+		for i := 0; i < 1000; i++ {
+			recs = append(recs,
+				trace.Record{Kind: trace.Op},
+				trace.Record{Kind: trace.Op},
+				trace.Record{Kind: trace.Op},
+				trace.Record{Kind: trace.Branch, Mispredict: misp && i%10 == 0})
+		}
+		return recs
+	}
+	good := Run(config.Base1ldst(), "good", &SliceSource{Records: mk(false)})
+	bad := Run(config.Base1ldst(), "bad", &SliceSource{Records: mk(true)})
+	if bad.Cycles <= good.Cycles {
+		t.Fatalf("mispredictions did not cost cycles: %d vs %d",
+			bad.Cycles, good.Cycles)
+	}
+	// 100 mispredicts x (resolve + refill) should cost >1000 cycles.
+	if bad.Cycles-good.Cycles < 1000 {
+		t.Fatalf("mispredict penalty too small: %d cycles for 100 redirects",
+			bad.Cycles-good.Cycles)
+	}
+}
+
+func TestMalecFasterThanBase1OnParallelWorkload(t *testing.T) {
+	b1 := RunBenchmark(config.Base1ldst(), "djpeg", 50000, 5)
+	ml := RunBenchmark(config.MALEC(), "djpeg", 50000, 5)
+	if ml.Cycles >= b1.Cycles {
+		t.Fatalf("MALEC (%d cycles) not faster than Base1ldst (%d) on djpeg",
+			ml.Cycles, b1.Cycles)
+	}
+}
+
+func TestMalecSavesEnergy(t *testing.T) {
+	b1 := RunBenchmark(config.Base1ldst(), "gzip", 50000, 6)
+	b2 := RunBenchmark(config.Base2ld1st(), "gzip", 50000, 6)
+	ml := RunBenchmark(config.MALEC(), "gzip", 50000, 6)
+	if ml.Energy.Total() >= b1.Energy.Total() {
+		t.Fatal("MALEC must undercut Base1ldst energy on a cache-friendly workload")
+	}
+	if b2.Energy.Total() <= b1.Energy.Total() {
+		t.Fatal("Base2ld1st must exceed Base1ldst energy")
+	}
+	// The way tables must deliver reduced accesses.
+	if ml.L1.ReducedReads == 0 || ml.Coverage() < 0.5 {
+		t.Fatalf("way determination ineffective: %d reduced reads, %.2f coverage",
+			ml.L1.ReducedReads, ml.Coverage())
+	}
+}
+
+func TestSegmentedConfigCoverageBelowFull(t *testing.T) {
+	full := RunBenchmark(config.MALEC(), "gzip", 50000, 7)
+	segCfg := config.MALECSegmentedWT(16, 0.25)
+	seg := RunBenchmark(segCfg, "gzip", 50000, 7)
+	if seg.Coverage() > full.Coverage()+0.01 {
+		t.Fatalf("quarter-pool segmented WT coverage %.3f above full %.3f",
+			seg.Coverage(), full.Coverage())
+	}
+	if seg.Coverage() == 0 {
+		t.Fatal("segmented WT produced no coverage at all")
+	}
+}
+
+func TestReaderSourceIntegration(t *testing.T) {
+	// A trace written through the codec must simulate identically to the
+	// in-memory records.
+	recs := Generate(t)
+	direct := Run(config.MALEC(), "direct", &SliceSource{Records: recs})
+	decoded := Run(config.MALEC(), "decoded", &SliceSource{Records: roundTrip(t, recs)})
+	if direct.Cycles != decoded.Cycles {
+		t.Fatalf("codec round trip changed timing: %d vs %d",
+			direct.Cycles, decoded.Cycles)
+	}
+}
+
+// Generate builds a small workload for codec integration.
+func Generate(t *testing.T) []trace.Record {
+	t.Helper()
+	return trace.NewGenerator(trace.Profiles["gzip"], 8).Generate(20000)
+}
+
+// roundTrip encodes and decodes records through the binary codec.
+func roundTrip(t *testing.T, recs []trace.Record) []trace.Record {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package energy
+
+import "fmt"
+
+// Area model: a lightweight bit-count based estimator used to quantify the
+// paper's area claims, most importantly Sec. V: packing validity+way into 2
+// bits per line "reduc[es] area and leakage power by 1/3 compared to the
+// naive format that uses separate bit fields; i.e. 128bit instead of 192bit
+// for 64 lines per page".
+
+// AreaParams holds the per-bit and per-port area constants (relative
+// units; only ratios are meaningful, matching the energy model's
+// philosophy).
+type AreaParams struct {
+	// BitArea is the area of one single-ported SRAM bit cell.
+	BitArea float64
+	// PortFactor is the per-extra-port area multiplier addend (multi-
+	// ported cells need extra word/bit lines; ~0.8 matches the paper's
+	// leakage observation, leakage being roughly proportional to area).
+	PortFactor float64
+	// CamFactor is the area premium of a content-addressable (fully
+	// associative search) bit over a plain SRAM bit.
+	CamFactor float64
+}
+
+// DefaultAreaParams returns the calibrated constants.
+func DefaultAreaParams() AreaParams {
+	return AreaParams{BitArea: 1.0, PortFactor: 0.8, CamFactor: 1.6}
+}
+
+// Structure describes one SRAM/CAM structure for area estimation.
+type Structure struct {
+	Name       string
+	Bits       int
+	ExtraPorts int
+	CAM        bool // fully-associative tag array
+}
+
+// Area returns the structure's estimated area in relative units.
+func (p AreaParams) Area(s Structure) float64 {
+	a := p.BitArea * float64(s.Bits)
+	if s.CAM {
+		a *= p.CamFactor
+	}
+	return a * (1 + p.PortFactor*float64(s.ExtraPorts))
+}
+
+// TotalArea sums the areas of several structures.
+func (p AreaParams) TotalArea(structs []Structure) float64 {
+	var sum float64
+	for _, s := range structs {
+		sum += p.Area(s)
+	}
+	return sum
+}
+
+// WayTableEntryBitsPacked is the paper's 2-bit-per-line encoding (Sec. V).
+const WayTableEntryBitsPacked = 2 * 64 // 128
+
+// WayTableEntryBitsNaive is the naive separate valid + 2-bit way format.
+const WayTableEntryBitsNaive = 3 * 64 // 192
+
+// WayTableAreaSaving returns the fractional area saving of the packed
+// encoding over the naive one (paper: 1/3).
+func WayTableAreaSaving() float64 {
+	return 1 - float64(WayTableEntryBitsPacked)/float64(WayTableEntryBitsNaive)
+}
+
+// InterfaceStructures returns the area-relevant structures of an L1
+// interface configuration for reporting: the L1 arrays, translation
+// structures and (when present) way tables or WDU.
+func InterfaceStructures(l1ExtraPorts, tlbExtraPorts int, wayTables bool, wduEntries, wduPorts int) []Structure {
+	structs := []Structure{
+		{Name: "L1 data", Bits: 32 * 1024 * 8, ExtraPorts: l1ExtraPorts},
+		{Name: "L1 tags", Bits: 128 * 4 * 22, ExtraPorts: l1ExtraPorts},
+		{Name: "uTLB", Bits: 16 * 40, ExtraPorts: tlbExtraPorts, CAM: true},
+		{Name: "TLB", Bits: 64 * 40, ExtraPorts: tlbExtraPorts, CAM: true},
+	}
+	if wayTables {
+		structs = append(structs,
+			Structure{Name: "uWT", Bits: 16 * WayTableEntryBitsPacked},
+			Structure{Name: "WT", Bits: 64 * WayTableEntryBitsPacked})
+	}
+	if wduEntries > 0 {
+		structs = append(structs, Structure{
+			Name: "WDU", Bits: wduEntries * 29,
+			ExtraPorts: wduPorts - 1, CAM: true})
+	}
+	return structs
+}
+
+// AreaReport renders the structures and their areas.
+func AreaReport(p AreaParams, structs []Structure) string {
+	out := ""
+	total := 0.0
+	for _, s := range structs {
+		a := p.Area(s)
+		total += a
+		out += fmt.Sprintf("%-10s %10d bits  %12.0f units\n", s.Name, s.Bits, a)
+	}
+	out += fmt.Sprintf("%-10s %10s       %12.0f units\n", "TOTAL", "", total)
+	return out
+}

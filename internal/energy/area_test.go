@@ -1,0 +1,66 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWayTableAreaSavingMatchesPaper(t *testing.T) {
+	// Sec. V: the packed 2-bit encoding saves 1/3 over the naive format
+	// (128 vs 192 bits per 64-line entry).
+	if WayTableEntryBitsPacked != 128 || WayTableEntryBitsNaive != 192 {
+		t.Fatalf("entry bits %d/%d, want 128/192",
+			WayTableEntryBitsPacked, WayTableEntryBitsNaive)
+	}
+	if got := WayTableAreaSaving(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("area saving %v, paper says 1/3", got)
+	}
+}
+
+func TestAreaPortScaling(t *testing.T) {
+	p := DefaultAreaParams()
+	single := p.Area(Structure{Bits: 1000})
+	dual := p.Area(Structure{Bits: 1000, ExtraPorts: 1})
+	if math.Abs(dual/single-1.8) > 1e-9 {
+		t.Fatalf("dual/single area ratio %v, want 1.8", dual/single)
+	}
+	cam := p.Area(Structure{Bits: 1000, CAM: true})
+	if cam <= single {
+		t.Fatal("CAM bits must cost more area")
+	}
+}
+
+func TestInterfaceAreas(t *testing.T) {
+	p := DefaultAreaParams()
+	base1 := p.TotalArea(InterfaceStructures(0, 0, false, 0, 0))
+	base2 := p.TotalArea(InterfaceStructures(1, 2, false, 0, 0))
+	malec := p.TotalArea(InterfaceStructures(0, 0, true, 0, 0))
+	if base2 <= base1 {
+		t.Fatal("multi-ported interface must be larger")
+	}
+	// MALEC adds only the small way tables: far cheaper than the
+	// multi-ported baseline.
+	if malec >= base2 {
+		t.Fatalf("MALEC area %v not below Base2ld1st %v", malec, base2)
+	}
+	overhead := malec/base1 - 1
+	if overhead <= 0 || overhead > 0.10 {
+		t.Fatalf("way-table area overhead %v, expected a few percent", overhead)
+	}
+	report := AreaReport(p, InterfaceStructures(0, 0, true, 0, 0))
+	if !strings.Contains(report, "WT") || !strings.Contains(report, "TOTAL") {
+		t.Fatal("report incomplete")
+	}
+}
+
+func TestWDUAreaSmallButPorted(t *testing.T) {
+	p := DefaultAreaParams()
+	withWDU := p.TotalArea(InterfaceStructures(0, 0, false, 16, 4))
+	withWT := p.TotalArea(InterfaceStructures(0, 0, true, 0, 0))
+	// A 16-entry WDU is small even with 4 ports; the point of the paper's
+	// comparison is energy, not area.
+	if withWDU >= withWT {
+		t.Fatalf("16-entry WDU area %v >= WT area %v", withWDU, withWT)
+	}
+}

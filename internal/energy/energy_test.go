@@ -1,0 +1,142 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func singlePorted() Ports { return Ports{HasWayTables: true} }
+
+func TestReducedCheaperThanConventional(t *testing.T) {
+	m := NewMeter(DefaultParams(), singlePorted())
+	m.L1ConventionalRead(4)
+	conv := m.dyn[L1]
+	m2 := NewMeter(DefaultParams(), singlePorted())
+	m2.L1ReducedRead()
+	red := m2.dyn[L1]
+	if red >= conv {
+		t.Fatalf("reduced %v >= conventional %v", red, conv)
+	}
+	// The paper's scheme wins ~factor 2 per access.
+	ratio := red / conv
+	if ratio < 0.3 || ratio > 0.8 {
+		t.Fatalf("reduced/conventional = %v, want 0.3..0.8", ratio)
+	}
+}
+
+func TestPortPremiums(t *testing.T) {
+	p := DefaultParams()
+	base := NewMeter(p, Ports{})
+	multi := NewMeter(p, Ports{L1ExtraPorts: 1, TLBExtraPorts: 2})
+	base.L1ConventionalRead(4)
+	multi.L1ConventionalRead(4)
+	if multi.dyn[L1] <= base.dyn[L1] {
+		t.Fatal("extra ports must raise dynamic energy per access")
+	}
+	bb := base.Finish(1000)
+	mb := multi.Finish(1000)
+	// Paper: an additional read port increases L1 leakage by 80%.
+	ratio := mb.Leakage[L1] / bb.Leakage[L1]
+	if math.Abs(ratio-1.8) > 1e-9 {
+		t.Fatalf("L1 leakage port ratio = %v, want 1.8", ratio)
+	}
+	if mb.Leakage[TLB] <= bb.Leakage[TLB] {
+		t.Fatal("TLB leakage must grow with ports")
+	}
+}
+
+func TestWayTableLeakageSmall(t *testing.T) {
+	// Paper: the uWT contributes ~0.3% of overall leakage.
+	m := NewMeter(DefaultParams(), singlePorted())
+	b := m.Finish(1_000_000)
+	share := b.Leakage[UWT] / b.TotalLeakage()
+	if share < 0.001 || share > 0.01 {
+		t.Fatalf("uWT leakage share = %v, want ~0.003", share)
+	}
+}
+
+func TestLeakageScalesWithTime(t *testing.T) {
+	m := NewMeter(DefaultParams(), singlePorted())
+	b1 := m.Finish(1000)
+	b2 := m.Finish(2000)
+	if math.Abs(b2.TotalLeakage()-2*b1.TotalLeakage()) > 1e-9 {
+		t.Fatal("leakage must be linear in cycles")
+	}
+}
+
+func TestWDUCosts(t *testing.T) {
+	p := DefaultParams()
+	small := NewMeter(p, Ports{WDUEntries: 8, WDUPorts: 4})
+	big := NewMeter(p, Ports{WDUEntries: 32, WDUPorts: 4})
+	small.WDULookup()
+	big.WDULookup()
+	if big.dyn[WDU] <= small.dyn[WDU] {
+		t.Fatal("bigger WDU lookups must cost more")
+	}
+	bs := small.Finish(1000)
+	bb := big.Finish(1000)
+	if bb.Leakage[WDU] <= bs.Leakage[WDU] {
+		t.Fatal("bigger WDU must leak more")
+	}
+	none := NewMeter(p, Ports{}).Finish(1000)
+	if none.Leakage[WDU] != 0 {
+		t.Fatal("no WDU configured but leaking")
+	}
+}
+
+func TestNoWayTablesNoLeak(t *testing.T) {
+	b := NewMeter(DefaultParams(), Ports{}).Finish(1000)
+	if b.Leakage[UWT] != 0 || b.Leakage[WT] != 0 {
+		t.Fatal("baselines must not pay way-table leakage")
+	}
+}
+
+func TestEventAccumulation(t *testing.T) {
+	m := NewMeter(DefaultParams(), singlePorted())
+	m.UTLBLookup()
+	m.TLBLookup()
+	m.UWTRead()
+	m.WTRead()
+	m.UWTLineUpdate()
+	m.WTLineUpdate()
+	m.EntryTransfer()
+	m.ReverseLookups(true, true)
+	m.L1Write(4)
+	m.L1ReducedWrite()
+	m.L1Fill()
+	m.L1Eviction()
+	m.L1MissCheck(4)
+	b := m.Finish(10)
+	for _, c := range []Component{L1, UTLB, TLB, UWT, WT} {
+		if b.Dynamic[c] <= 0 {
+			t.Fatalf("component %v accumulated no dynamic energy", c)
+		}
+	}
+	if b.Total() != b.TotalDynamic()+b.TotalLeakage() {
+		t.Fatal("total mismatch")
+	}
+	if !strings.Contains(b.String(), "uWT") {
+		t.Fatal("String() missing component")
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	names := map[Component]string{L1: "L1", UTLB: "uTLB", TLB: "TLB",
+		UWT: "uWT", WT: "WT", WDU: "WDU"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%d String = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestFillCostsMoreThanWrite(t *testing.T) {
+	m1 := NewMeter(DefaultParams(), Ports{})
+	m1.L1Fill()
+	m2 := NewMeter(DefaultParams(), Ports{})
+	m2.L1ReducedWrite()
+	if m1.dyn[L1] <= m2.dyn[L1] {
+		t.Fatal("a full-line fill must cost more than a word write")
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"malec/internal/stats"
+	"malec/internal/trace"
+)
+
+// Fig1Row holds the Fig. 1 histogram for one benchmark: for each tolerated
+// gap (0,1,2,3,4,8 intermediate other-page accesses), the fraction of loads
+// falling into run-length groups 1, 2, 3-4, 5-8, >8.
+type Fig1Row struct {
+	Name  string
+	Suite string
+	// Runs[g][b] = fraction of runs with gap tolerance g in bucket b.
+	Runs [len6][5]float64
+	// Grouped[g] = load-weighted fraction of loads in runs >= 2 (the
+	// fraction amenable to page-based grouping).
+	Grouped [len6]float64
+	// FollowedSamePage is the Sec. III scalar (70% paper average).
+	FollowedSamePage float64
+	// FollowedSameLine is the Sec. III scalar (46% paper average).
+	FollowedSameLine float64
+}
+
+const len6 = 6
+
+// Fig1Result is the complete Fig. 1 dataset.
+type Fig1Result struct {
+	Gaps    []int
+	Rows    []Fig1Row
+	Suites  []string
+	BySuite map[string]Fig1Row // aggregated per suite
+	Overall Fig1Row
+}
+
+// Fig1 reproduces the paper's Fig. 1: consecutive read accesses to the same
+// page, allowing n intermediate accesses to a different page.
+func Fig1(opt Options) Fig1Result {
+	opt = opt.normalize()
+	res := Fig1Result{Gaps: stats.Fig1Gaps, BySuite: make(map[string]Fig1Row)}
+	suites, groups := bySuite(opt.Benchmarks)
+	res.Suites = suites
+
+	for _, b := range opt.Benchmarks {
+		res.Rows = append(res.Rows, fig1For(b, opt))
+	}
+	rowByName := make(map[string]Fig1Row, len(res.Rows))
+	for _, r := range res.Rows {
+		rowByName[r.Name] = r
+	}
+	agg := func(names []string, label, suite string) Fig1Row {
+		out := Fig1Row{Name: label, Suite: suite}
+		n := float64(len(names))
+		if n == 0 {
+			return out
+		}
+		for _, name := range names {
+			r := rowByName[name]
+			for g := 0; g < len6; g++ {
+				for b := 0; b < 5; b++ {
+					out.Runs[g][b] += r.Runs[g][b] / n
+				}
+				out.Grouped[g] += r.Grouped[g] / n
+			}
+			out.FollowedSamePage += r.FollowedSamePage / n
+			out.FollowedSameLine += r.FollowedSameLine / n
+		}
+		return out
+	}
+	for _, s := range suites {
+		res.BySuite[s] = agg(groups[s], "mean "+s, s)
+	}
+	res.Overall = agg(opt.Benchmarks, "overall", "all")
+	return res
+}
+
+// fig1For analyzes one benchmark's load stream.
+func fig1For(bench string, opt Options) Fig1Row {
+	prof := trace.Profiles[bench]
+	gen := trace.NewGenerator(prof, opt.Seed)
+	pl := stats.NewPageLocality(stats.Fig1Gaps)
+	for i := 0; i < opt.Instructions; i++ {
+		rec := gen.Next()
+		if rec.Kind == trace.Load {
+			pl.ObserveLoad(rec.Addr)
+		}
+	}
+	pl.Flush()
+	row := Fig1Row{Name: bench, Suite: prof.Suite,
+		FollowedSamePage: pl.FollowedSamePage(),
+		FollowedSameLine: pl.FollowedSameLine()}
+	for g := range stats.Fig1Gaps {
+		h := pl.Hist(g)
+		for b := 0; b < 5; b++ {
+			row.Runs[g][b] = h.Fraction(b)
+		}
+		row.Grouped[g] = pl.GroupedFraction(g)
+	}
+	return row
+}
+
+// Table renders the Fig. 1 dataset as markdown: one row per benchmark,
+// grouped-fraction columns per gap tolerance (the paper's headline reading
+// of the figure: 70% / 85% / 90% / 92% for 0/1/2/3 gaps).
+func (r Fig1Result) Table() string {
+	var b strings.Builder
+	b.WriteString("### Fig. 1 — consecutive loads to the same page (grouped-load fraction per tolerated gap)\n\n")
+	header := []string{"benchmark", "suite"}
+	for _, g := range r.Gaps {
+		header = append(header, fmt.Sprintf("x<=%d", g))
+	}
+	header = append(header, "same-page next", "same-line next")
+	var rows [][]string
+	emit := func(row Fig1Row) {
+		cells := []string{row.Name, row.Suite}
+		for g := range r.Gaps {
+			cells = append(cells, pct(row.Grouped[g]))
+		}
+		cells = append(cells, pct(row.FollowedSamePage), pct(row.FollowedSameLine))
+		rows = append(rows, cells)
+	}
+	for _, row := range r.Rows {
+		emit(row)
+	}
+	for _, s := range r.Suites {
+		emit(r.BySuite[s])
+	}
+	emit(r.Overall)
+	b.WriteString(markdownTable(header, rows))
+
+	b.WriteString("\n### Fig. 1 — run-length distribution (gap 0): 1 / 2 / 3-4 / 5-8 / >8\n\n")
+	header2 := []string{"benchmark", "1", "2", "3-4", "5-8", ">8"}
+	var rows2 [][]string
+	for _, row := range append(r.Rows, r.Overall) {
+		cells := []string{row.Name}
+		for i := 0; i < 5; i++ {
+			cells = append(cells, pct(row.Runs[0][i]))
+		}
+		rows2 = append(rows2, cells)
+	}
+	b.WriteString(markdownTable(header2, rows2))
+	return b.String()
+}

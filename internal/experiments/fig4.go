@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"malec/internal/config"
+	"malec/internal/cpu"
+)
+
+// Fig4Result holds the normalized execution time (Fig. 4a) and energy
+// (Fig. 4b) series for the five configurations, normalized to Base1ldst.
+type Fig4Result struct {
+	Grid *Grid
+	// Time[config][bench] = execution time normalized to Base1ldst (1.0).
+	Time map[string]map[string]float64
+	// Dyn/Leak/Total[config][bench] = energy normalized to Base1ldst's
+	// total energy.
+	Dyn   map[string]map[string]float64
+	Leak  map[string]map[string]float64
+	Total map[string]map[string]float64
+}
+
+// baseline is the normalization reference for Fig. 4.
+const baseline = "Base1ldst"
+
+// Fig4 runs the five configurations of Fig. 4 over the benchmark set and
+// normalizes both axes to Base1ldst.
+func Fig4(opt Options) Fig4Result {
+	return fig4From(runGrid(config.Fig4Configs(), opt))
+}
+
+// fig4From normalizes an already-computed grid.
+func fig4From(g *Grid) Fig4Result {
+	r := Fig4Result{
+		Grid:  g,
+		Time:  make(map[string]map[string]float64),
+		Dyn:   make(map[string]map[string]float64),
+		Leak:  make(map[string]map[string]float64),
+		Total: make(map[string]map[string]float64),
+	}
+	for _, c := range g.Configs {
+		r.Time[c] = make(map[string]float64)
+		r.Dyn[c] = make(map[string]float64)
+		r.Leak[c] = make(map[string]float64)
+		r.Total[c] = make(map[string]float64)
+		for _, b := range g.Benchmarks {
+			base := g.Results[baseline][b]
+			res := g.Results[c][b]
+			r.Time[c][b] = float64(res.Cycles) / float64(base.Cycles)
+			bt := base.Energy.Total()
+			r.Dyn[c][b] = res.Energy.TotalDynamic() / bt
+			r.Leak[c][b] = res.Energy.TotalLeakage() / bt
+			r.Total[c][b] = res.Energy.Total() / bt
+		}
+	}
+	return r
+}
+
+// GeoTime returns the geometric-mean normalized time of a config over a
+// benchmark subset.
+func (r Fig4Result) GeoTime(cfg string, benchmarks []string) float64 {
+	return geoOver(benchmarks, func(b string) float64 { return r.Time[cfg][b] })
+}
+
+// GeoTotalEnergy returns the geometric-mean normalized total energy.
+func (r Fig4Result) GeoTotalEnergy(cfg string, benchmarks []string) float64 {
+	return geoOver(benchmarks, func(b string) float64 { return r.Total[cfg][b] })
+}
+
+// GeoDynamicEnergy returns the geometric-mean normalized dynamic energy.
+func (r Fig4Result) GeoDynamicEnergy(cfg string, benchmarks []string) float64 {
+	return geoOver(benchmarks, func(b string) float64 { return r.Dyn[cfg][b] })
+}
+
+// Result returns the underlying run for (config, benchmark).
+func (r Fig4Result) Result(cfg, bench string) cpu.Result { return r.Grid.Results[cfg][bench] }
+
+// TimeTable renders Fig. 4a as markdown (values in % of Base1ldst).
+func (r Fig4Result) TimeTable() string {
+	return r.metricTable("Fig. 4a — normalized execution time [% of Base1ldst]", r.Time)
+}
+
+// EnergyTable renders Fig. 4b as markdown: total energy with the
+// dynamic/leakage split, in % of Base1ldst total energy.
+func (r Fig4Result) EnergyTable() string {
+	var b strings.Builder
+	b.WriteString(r.metricTable("Fig. 4b — normalized total energy [% of Base1ldst]", r.Total))
+	b.WriteString("\n")
+	b.WriteString(r.metricTable("Fig. 4b — dynamic energy component [% of Base1ldst total]", r.Dyn))
+	b.WriteString("\n")
+	b.WriteString(r.metricTable("Fig. 4b — leakage energy component [% of Base1ldst total]", r.Leak))
+	return b.String()
+}
+
+// metricTable renders one metric across configs and benchmarks with
+// per-suite and overall geometric means.
+func (r Fig4Result) metricTable(title string, metric map[string]map[string]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", title)
+	header := append([]string{"benchmark"}, r.Grid.Configs...)
+	var rows [][]string
+	for _, bench := range r.Grid.Benchmarks {
+		cells := []string{bench}
+		for _, c := range r.Grid.Configs {
+			cells = append(cells, pct(metric[c][bench]))
+		}
+		rows = append(rows, cells)
+	}
+	suites, groups := bySuite(r.Grid.Benchmarks)
+	for _, s := range suites {
+		cells := []string{"geo.mean " + s}
+		for _, c := range r.Grid.Configs {
+			cells = append(cells, pct(geoOver(groups[s], func(x string) float64 { return metric[c][x] })))
+		}
+		rows = append(rows, cells)
+	}
+	cells := []string{"geo.mean overall"}
+	for _, c := range r.Grid.Configs {
+		cells = append(cells, pct(geoOver(r.Grid.Benchmarks, func(x string) float64 { return metric[c][x] })))
+	}
+	rows = append(rows, cells)
+	b.WriteString(markdownTable(header, rows))
+	return b.String()
+}

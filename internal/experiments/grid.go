@@ -1,0 +1,151 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. III and VI): Fig. 1 (page locality), the Sec. III
+// motivation scalars, Fig. 4a/4b (normalized execution time and energy for
+// the five configurations), the Sec. VI-C WT-vs-WDU comparison, the Sec. V
+// coverage ablation, the Sec. VI-B merge-contribution analysis, and the
+// 3-of-4 way-allocation constraint check.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"malec/internal/config"
+	"malec/internal/cpu"
+	"malec/internal/stats"
+	"malec/internal/trace"
+)
+
+// Options controls experiment scale. The zero value is usable: defaults are
+// applied by normalize.
+type Options struct {
+	// Instructions per benchmark (default 300000; the paper simulates
+	// 1B-instruction SimPoint phases, far beyond a test budget).
+	Instructions int
+	// Seed selects the workload instance (default 1).
+	Seed uint64
+	// Benchmarks restricts the run (default: all 38).
+	Benchmarks []string
+	// Workers bounds parallel simulations (default: GOMAXPROCS).
+	Workers int
+}
+
+// normalize applies defaults.
+func (o Options) normalize() Options {
+	if o.Instructions <= 0 {
+		o.Instructions = 300000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = trace.AllBenchmarks()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Grid holds simulation results for a set of configurations crossed with a
+// set of benchmarks.
+type Grid struct {
+	Configs    []string
+	Benchmarks []string
+	// Results[config][benchmark]
+	Results map[string]map[string]cpu.Result
+}
+
+// runGrid simulates every (config, benchmark) pair in parallel.
+func runGrid(cfgs []config.Config, opt Options) *Grid {
+	opt = opt.normalize()
+	g := &Grid{Results: make(map[string]map[string]cpu.Result)}
+	for _, c := range cfgs {
+		g.Configs = append(g.Configs, c.Name)
+		g.Results[c.Name] = make(map[string]cpu.Result)
+	}
+	g.Benchmarks = append(g.Benchmarks, opt.Benchmarks...)
+
+	type job struct {
+		cfg   config.Config
+		bench string
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res := cpu.RunBenchmark(j.cfg, j.bench, opt.Instructions, opt.Seed)
+				mu.Lock()
+				g.Results[j.cfg.Name][j.bench] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range cfgs {
+		for _, b := range opt.Benchmarks {
+			jobs <- job{cfg: c, bench: b}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return g
+}
+
+// suiteOf returns the suite of a benchmark.
+func suiteOf(bench string) string {
+	if p, ok := trace.Profiles[bench]; ok {
+		return p.Suite
+	}
+	return "unknown"
+}
+
+// bySuite groups benchmark names by suite, preserving order, returning only
+// suites that are present.
+func bySuite(benchmarks []string) (suites []string, groups map[string][]string) {
+	groups = make(map[string][]string)
+	for _, b := range benchmarks {
+		s := suiteOf(b)
+		if _, ok := groups[s]; !ok {
+			suites = append(suites, s)
+		}
+		groups[s] = append(groups[s], b)
+	}
+	// Keep the paper's suite order where possible.
+	order := map[string]int{trace.SuiteSpecInt: 0, trace.SuiteSpecFP: 1, trace.SuiteMB2: 2}
+	sort.SliceStable(suites, func(i, j int) bool { return order[suites[i]] < order[suites[j]] })
+	return suites, groups
+}
+
+// geoOver computes the geometric mean of f over the given benchmarks.
+func geoOver(benchmarks []string, f func(bench string) float64) float64 {
+	xs := make([]float64, 0, len(benchmarks))
+	for _, b := range benchmarks {
+		xs = append(xs, f(b))
+	}
+	return stats.GeoMean(xs)
+}
+
+// markdownTable renders a simple markdown table.
+func markdownTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f", 100*x) }

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"malec/internal/config"
+	"malec/internal/trace"
+)
+
+// MotivationResult holds the Sec. III scalars.
+type MotivationResult struct {
+	MemRatio       float64 // paper: 0.40 overall
+	LoadStoreRatio float64 // paper: 2.0
+	BySuiteMem     map[string]float64
+	Fig1           Fig1Result
+}
+
+// Motivation reproduces the Sec. III trace statistics.
+func Motivation(opt Options) MotivationResult {
+	opt = opt.normalize()
+	out := MotivationResult{BySuiteMem: make(map[string]float64)}
+	suites, groups := bySuite(opt.Benchmarks)
+	var totalMem, totalLS float64
+	for _, s := range suites {
+		var mr float64
+		for _, bench := range groups[s] {
+			gen := trace.NewGenerator(trace.Profiles[bench], opt.Seed)
+			var st trace.Stats
+			for i := 0; i < opt.Instructions; i++ {
+				st.Observe(gen.Next())
+			}
+			mr += st.MemRatio() / float64(len(groups[s]))
+			totalMem += st.MemRatio() / float64(len(opt.Benchmarks))
+			totalLS += st.LoadStoreRatio() / float64(len(opt.Benchmarks))
+		}
+		out.BySuiteMem[s] = mr
+	}
+	out.MemRatio = totalMem
+	out.LoadStoreRatio = totalLS
+	out.Fig1 = Fig1(opt)
+	return out
+}
+
+// Table renders the motivation scalars.
+func (r MotivationResult) Table() string {
+	var b strings.Builder
+	b.WriteString("### Sec. III — motivation statistics (paper targets in parentheses)\n\n")
+	header := []string{"metric", "measured", "paper"}
+	rows := [][]string{
+		{"memory refs / instructions [%]", pct(r.MemRatio), "40"},
+		{"load/store ratio", fmt.Sprintf("%.2f", r.LoadStoreRatio), "2.0"},
+		{"loads followed by same-page load [%]", pct(r.Fig1.Overall.FollowedSamePage), "70"},
+		{"grouped loads, 1 gap tolerated [%]", pct(r.Fig1.Overall.Grouped[1]), "85"},
+		{"grouped loads, 2 gaps tolerated [%]", pct(r.Fig1.Overall.Grouped[2]), "90"},
+		{"grouped loads, 3 gaps tolerated [%]", pct(r.Fig1.Overall.Grouped[3]), "92"},
+		{"loads followed by same-line load [%]", pct(r.Fig1.Overall.FollowedSameLine), "46"},
+	}
+	for _, s := range r.Fig1.Suites {
+		rows = append(rows, []string{"mem ratio " + s, pct(r.BySuiteMem[s]), suiteTarget(s)})
+	}
+	b.WriteString(markdownTable(header, rows))
+	return b.String()
+}
+
+// suiteTarget returns the paper's per-suite memory-ratio figure.
+func suiteTarget(s string) string {
+	switch s {
+	case trace.SuiteSpecInt:
+		return "45"
+	case trace.SuiteSpecFP:
+		return "40"
+	case trace.SuiteMB2:
+		return "37"
+	default:
+		return "-"
+	}
+}
+
+// MergeRow is one benchmark of the Sec. VI-B merge-contribution analysis.
+type MergeRow struct {
+	Benchmark string
+	// Contribution is the fraction of MALEC's speedup over Base1ldst
+	// attributable to load merging: (T_noMerge - T_MALEC) / (T_Base1 -
+	// T_MALEC). Paper: ~21% average, gap 56%, equake 66%, mgrid <2%.
+	Contribution float64
+	// MergedLoadFrac is the fraction of loads serviced by merging.
+	MergedLoadFrac float64
+	// EnergyDeltaNoMerge is the dynamic-energy change of disabling
+	// merging, relative to Base1ldst (paper: mcf +5% without vs -51%
+	// with merging).
+	DynNoMergeVsBase float64
+	DynMalecVsBase   float64
+}
+
+// MergeResult is the Sec. VI-B dataset.
+type MergeResult struct {
+	Rows    []MergeRow
+	Average float64
+}
+
+// MergeContribution quantifies the share of MALEC's speedup provided by
+// load merging by re-running MALEC with merging disabled.
+func MergeContribution(opt Options) MergeResult {
+	opt = opt.normalize()
+	cfgs := []config.Config{config.Base1ldst(), config.MALEC(), config.MALECNoMerge()}
+	g := runGrid(cfgs, opt)
+	var out MergeResult
+	var sum float64
+	n := 0
+	for _, b := range g.Benchmarks {
+		base := g.Results["Base1ldst"][b]
+		mal := g.Results["MALEC"][b]
+		nom := g.Results["MALEC_noMerge"][b]
+		row := MergeRow{Benchmark: b}
+		gain := float64(base.Cycles) - float64(mal.Cycles)
+		if gain > 0 {
+			row.Contribution = (float64(nom.Cycles) - float64(mal.Cycles)) / gain
+		}
+		if mal.Loads > 0 {
+			row.MergedLoadFrac = float64(mal.Counters.Get("malec.merged_loads")) /
+				float64(mal.Loads)
+		}
+		bd := base.Energy.TotalDynamic()
+		row.DynMalecVsBase = mal.Energy.TotalDynamic()/bd - 1
+		row.DynNoMergeVsBase = nom.Energy.TotalDynamic()/bd - 1
+		out.Rows = append(out.Rows, row)
+		sum += row.Contribution
+		n++
+	}
+	if n > 0 {
+		out.Average = sum / float64(n)
+	}
+	return out
+}
+
+// Table renders the merge analysis.
+func (r MergeResult) Table() string {
+	var b strings.Builder
+	b.WriteString("### Sec. VI-B — contribution of load merging to MALEC's speedup\n\n")
+	header := []string{"benchmark", "merge contribution [%]", "merged loads [%]",
+		"dyn energy vs Base1, MALEC [%]", "dyn energy vs Base1, no merging [%]"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Benchmark, pct(row.Contribution),
+			pct(row.MergedLoadFrac),
+			fmt.Sprintf("%+.1f", 100*row.DynMalecVsBase),
+			fmt.Sprintf("%+.1f", 100*row.DynNoMergeVsBase)})
+	}
+	rows = append(rows, []string{"average", pct(r.Average), "", "", ""})
+	b.WriteString(markdownTable(header, rows))
+	return b.String()
+}
+
+// WayConstraintRow compares L1 miss rates with and without the 3-of-4 way
+// allocation constraint.
+type WayConstraintRow struct {
+	Benchmark          string
+	MissConstrained    float64
+	MissUnconstrained  float64
+	RelativeMissChange float64
+}
+
+// WayConstraintResult is the Sec. V allocation-constraint dataset.
+type WayConstraintResult struct {
+	Rows    []WayConstraintRow
+	Average float64
+}
+
+// WayConstraint verifies the paper's claim that limiting each line to 3 of
+// 4 ways (for the 2-bit WT encoding) causes no measurable L1 miss-rate
+// increase.
+func WayConstraint(opt Options) WayConstraintResult {
+	opt = opt.normalize()
+	unconstrained := config.MALEC()
+	unconstrained.Name = "MALEC_allWays"
+	unconstrained.ConstrainWays = false
+	cfgs := []config.Config{config.MALEC(), unconstrained}
+	g := runGrid(cfgs, opt)
+	var out WayConstraintResult
+	var sum float64
+	for _, b := range g.Benchmarks {
+		con := g.Results["MALEC"][b].L1
+		unc := g.Results["MALEC_allWays"][b].L1
+		row := WayConstraintRow{
+			Benchmark:         b,
+			MissConstrained:   con.MissRate(),
+			MissUnconstrained: unc.MissRate(),
+		}
+		if unc.Misses > 0 {
+			row.RelativeMissChange = float64(con.Misses)/float64(unc.Misses) - 1
+		}
+		out.Rows = append(out.Rows, row)
+		sum += row.RelativeMissChange
+	}
+	if len(out.Rows) > 0 {
+		out.Average = sum / float64(len(out.Rows))
+	}
+	return out
+}
+
+// Table renders the way-constraint check.
+func (r WayConstraintResult) Table() string {
+	var b strings.Builder
+	b.WriteString("### Sec. V — 3-of-4 way allocation constraint: L1 miss impact\n\n")
+	header := []string{"benchmark", "miss rate constrained [%]",
+		"miss rate unconstrained [%]", "miss count change [%]"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Benchmark, pct(row.MissConstrained),
+			pct(row.MissUnconstrained),
+			fmt.Sprintf("%+.2f", 100*row.RelativeMissChange)})
+	}
+	rows = append(rows, []string{"average", "", "",
+		fmt.Sprintf("%+.2f", 100*r.Average)})
+	b.WriteString(markdownTable(header, rows))
+	return b.String()
+}
+
+// Table1 renders the paper's Tab. I (configuration inventory).
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("### Tab. I — basic configurations\n\n")
+	header := []string{"configuration", "addr. comp. per cycle", "uTLB/TLB ports", "cache ports"}
+	rows := [][]string{
+		{"Base1ldst", "1 ld/st", "1 rd/wt", "1 rd/wt"},
+		{"Base2ld1st", "2 ld + 1 st", "1 rd/wt + 2 rd", "1 rd/wt + 1 rd"},
+		{"MALEC", "1 ld + 2 ld/st", "1 rd/wt", "1 rd/wt"},
+	}
+	b.WriteString(markdownTable(header, rows))
+	return b.String()
+}
+
+// Table2 renders the paper's Tab. II (simulation parameters), as realized
+// by config.MALEC / the shared tabII defaults.
+func Table2() string {
+	c := config.MALEC()
+	var b strings.Builder
+	b.WriteString("### Tab. II — relevant simulation parameters\n\n")
+	header := []string{"component", "parameter"}
+	rows := [][]string{
+		{"Processor", fmt.Sprintf("single-core out-of-order, 1 GHz, %d ROB entries, %d-wide fetch/dispatch, %d-wide issue", c.ROB, c.FetchWidth, c.IssueWidth)},
+		{"L1 interface", fmt.Sprintf("%d TLB entries, %d uTLB entries, %d LQ entries, %d SB entries, %d MB entries, 32 bit addr space, 4 KByte pages", c.TLBEntries, c.UTLBEntries, c.LQ, c.SB, c.MB)},
+		{"L1 D-cache", fmt.Sprintf("32 KByte, %d cycle latency, 64 byte lines, 4-way set-assoc., 4 banks, PIPT, 128 bit sub-blocks", c.L1Latency)},
+		{"L2 cache", "1 MByte, 12 cycle latency, 16-way set-assoc."},
+		{"DRAM", "54 cycle latency (plus L2)"},
+		{"Energy model", "analytical CACTI substitute, 32nm-like constants (internal/energy)"},
+	}
+	b.WriteString(markdownTable(header, rows))
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"malec/internal/config"
+)
+
+// Sensitivity experiments for Sec. VI-D, which discusses MALEC's
+// dependence on L1 latency, the number of result buses, the arbitration
+// unit's comparator budget, and the sub-blocked merge window.
+
+// LatencyRow is one L1-latency point for one interface.
+type LatencyRow struct {
+	Config  string
+	Latency int
+	// Time is the execution time normalized to the 2-cycle MALEC config.
+	Time float64
+}
+
+// LatencyResult is the L1 latency sweep dataset.
+type LatencyResult struct {
+	Rows []LatencyRow
+}
+
+// LatencySensitivity sweeps the L1 access latency from 1 to 4 cycles for
+// Base2ld1st and MALEC, extending the paper's two spot variants
+// (Base2ld1st_1cycleL1, MALEC_3cycleL1).
+func LatencySensitivity(opt Options) LatencyResult {
+	opt = opt.normalize()
+	var cfgs []config.Config
+	for lat := 1; lat <= 4; lat++ {
+		b := config.Base2ld1st()
+		b.Name = fmt.Sprintf("Base2ld1st_%dc", lat)
+		b.L1Latency = lat
+		m := config.MALEC()
+		m.Name = fmt.Sprintf("MALEC_%dc", lat)
+		m.L1Latency = lat
+		cfgs = append(cfgs, b, m)
+	}
+	g := runGrid(cfgs, opt)
+	ref := "MALEC_2c"
+	var out LatencyResult
+	for lat := 1; lat <= 4; lat++ {
+		for _, base := range []string{"Base2ld1st", "MALEC"} {
+			name := fmt.Sprintf("%s_%dc", base, lat)
+			t := geoOver(g.Benchmarks, func(b string) float64 {
+				return float64(g.Results[name][b].Cycles) /
+					float64(g.Results[ref][b].Cycles)
+			})
+			out.Rows = append(out.Rows, LatencyRow{Config: base, Latency: lat, Time: t})
+		}
+	}
+	return out
+}
+
+// Table renders the latency sweep.
+func (r LatencyResult) Table() string {
+	var b strings.Builder
+	b.WriteString("### Sec. VI-D — L1 access latency sweep [exec. time, % of 2-cycle MALEC]\n\n")
+	header := []string{"L1 latency", "Base2ld1st", "MALEC"}
+	byLat := map[int]map[string]float64{}
+	for _, row := range r.Rows {
+		if byLat[row.Latency] == nil {
+			byLat[row.Latency] = map[string]float64{}
+		}
+		byLat[row.Latency][row.Config] = row.Time
+	}
+	var rows [][]string
+	for lat := 1; lat <= 4; lat++ {
+		rows = append(rows, []string{fmt.Sprintf("%d cycles", lat),
+			pct(byLat[lat]["Base2ld1st"]), pct(byLat[lat]["MALEC"])})
+	}
+	b.WriteString(markdownTable(header, rows))
+	return b.String()
+}
+
+// BusRow is one result-bus count data point.
+type BusRow struct {
+	Buses int
+	// Time is normalized to the 4-bus configuration.
+	Time float64
+	// MergedFrac is the fraction of loads serviced by merging.
+	MergedFrac float64
+}
+
+// BusResult is the result-bus sweep dataset.
+type BusResult struct {
+	Rows []BusRow
+}
+
+// ResultBusSweep varies MALEC's result buses (the number of loads serviced
+// per cycle) from 1 to 4. The paper: "MALEC's performance is primarily
+// limited [by] the number of memory references issued per cycle and the
+// number of available result busses."
+func ResultBusSweep(opt Options) BusResult {
+	opt = opt.normalize()
+	var cfgs []config.Config
+	for buses := 1; buses <= 4; buses++ {
+		c := config.MALEC()
+		c.Name = fmt.Sprintf("MALEC_%dbus", buses)
+		c.MaxLoadsPerCycle = buses
+		cfgs = append(cfgs, c)
+	}
+	g := runGrid(cfgs, opt)
+	ref := "MALEC_4bus"
+	var out BusResult
+	for buses := 1; buses <= 4; buses++ {
+		name := fmt.Sprintf("MALEC_%dbus", buses)
+		t := geoOver(g.Benchmarks, func(b string) float64 {
+			return float64(g.Results[name][b].Cycles) /
+				float64(g.Results[ref][b].Cycles)
+		})
+		var merged, loads float64
+		for _, b := range g.Benchmarks {
+			res := g.Results[name][b]
+			merged += float64(res.Counters.Get("malec.merged_loads"))
+			loads += float64(res.Loads)
+		}
+		out.Rows = append(out.Rows, BusRow{Buses: buses, Time: t,
+			MergedFrac: merged / loads})
+	}
+	return out
+}
+
+// Table renders the bus sweep.
+func (r BusResult) Table() string {
+	var b strings.Builder
+	b.WriteString("### Sec. VI-D — result bus sweep [exec. time, % of 4-bus MALEC]\n\n")
+	header := []string{"result buses", "time", "merged loads [%]"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{fmt.Sprintf("%d", row.Buses),
+			pct(row.Time), pct(row.MergedFrac)})
+	}
+	b.WriteString(markdownTable(header, rows))
+	return b.String()
+}
+
+// CompareLimitRow is one arbitration comparator budget data point.
+type CompareLimitRow struct {
+	Limit      int
+	Time       float64 // normalized to unlimited comparators
+	MergedFrac float64
+}
+
+// CompareLimitResult is the comparator budget dataset.
+type CompareLimitResult struct {
+	Rows []CompareLimitRow
+}
+
+// CompareLimitAblation varies how many consecutive input-buffer entries the
+// arbitration unit compares for merging. The paper limits it to three and
+// claims "the performance degradation due to this limitation is less than
+// 0.5%".
+func CompareLimitAblation(opt Options) CompareLimitResult {
+	opt = opt.normalize()
+	limits := []int{1, 3, 16}
+	var cfgs []config.Config
+	for _, l := range limits {
+		c := config.MALEC()
+		c.Name = fmt.Sprintf("MALEC_cmp%d", l)
+		c.MergeCompareLimit = l
+		cfgs = append(cfgs, c)
+	}
+	g := runGrid(cfgs, opt)
+	ref := "MALEC_cmp16"
+	var out CompareLimitResult
+	for _, l := range limits {
+		name := fmt.Sprintf("MALEC_cmp%d", l)
+		t := geoOver(g.Benchmarks, func(b string) float64 {
+			return float64(g.Results[name][b].Cycles) /
+				float64(g.Results[ref][b].Cycles)
+		})
+		var merged, loads float64
+		for _, b := range g.Benchmarks {
+			res := g.Results[name][b]
+			merged += float64(res.Counters.Get("malec.merged_loads"))
+			loads += float64(res.Loads)
+		}
+		out.Rows = append(out.Rows, CompareLimitRow{Limit: l, Time: t,
+			MergedFrac: merged / loads})
+	}
+	return out
+}
+
+// Table renders the comparator ablation.
+func (r CompareLimitResult) Table() string {
+	var b strings.Builder
+	b.WriteString("### Sec. IV — arbitration comparator budget (paper: 3 comparators cost <0.5%)\n\n")
+	header := []string{"compare limit", "time vs unlimited", "merged loads [%]"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{fmt.Sprintf("%d", row.Limit),
+			pct(row.Time), pct(row.MergedFrac)})
+	}
+	b.WriteString(markdownTable(header, rows))
+	return b.String()
+}
+
+// MergeWindowRow is one merge-granularity data point.
+type MergeWindowRow struct {
+	WindowBytes int
+	MergedFrac  float64
+	Time        float64 // normalized to the 32-byte window
+}
+
+// MergeWindowResult is the sub-block window dataset.
+type MergeWindowResult struct {
+	Rows []MergeWindowRow
+}
+
+// MergeWindowAblation compares merge granularities: a single 128-bit
+// sub-block (16 B), the paper's two-adjacent-sub-blocks read (32 B, which
+// "doubles the probability for loads to be merged"), and idealized
+// whole-line sharing (64 B).
+func MergeWindowAblation(opt Options) MergeWindowResult {
+	opt = opt.normalize()
+	windows := []int{16, 32, 64}
+	var cfgs []config.Config
+	for _, w := range windows {
+		c := config.MALEC()
+		c.Name = fmt.Sprintf("MALEC_w%d", w)
+		c.MergeWindowBytes = w
+		cfgs = append(cfgs, c)
+	}
+	g := runGrid(cfgs, opt)
+	ref := "MALEC_w32"
+	var out MergeWindowResult
+	for _, w := range windows {
+		name := fmt.Sprintf("MALEC_w%d", w)
+		t := geoOver(g.Benchmarks, func(b string) float64 {
+			return float64(g.Results[name][b].Cycles) /
+				float64(g.Results[ref][b].Cycles)
+		})
+		var merged, loads float64
+		for _, b := range g.Benchmarks {
+			res := g.Results[name][b]
+			merged += float64(res.Counters.Get("malec.merged_loads"))
+			loads += float64(res.Loads)
+		}
+		out.Rows = append(out.Rows, MergeWindowRow{WindowBytes: w,
+			MergedFrac: merged / loads, Time: t})
+	}
+	return out
+}
+
+// Table renders the merge-window ablation.
+func (r MergeWindowResult) Table() string {
+	var b strings.Builder
+	b.WriteString("### Sec. IV — sub-block merge window (paper: 2 sub-blocks double merging)\n\n")
+	header := []string{"window [bytes]", "merged loads [%]", "time vs 32B"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{fmt.Sprintf("%d", row.WindowBytes),
+			pct(row.MergedFrac), pct(row.Time)})
+	}
+	b.WriteString(markdownTable(header, rows))
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func sensOpt() Options {
+	return Options{
+		Instructions: 40000,
+		Seed:         1,
+		Benchmarks:   []string{"gzip", "gap", "djpeg"},
+	}
+}
+
+func TestLatencySensitivityShape(t *testing.T) {
+	r := LatencySensitivity(sensOpt())
+	if len(r.Rows) != 8 {
+		t.Fatalf("%d rows, want 8 (2 configs x 4 latencies)", len(r.Rows))
+	}
+	// Execution time must be non-decreasing in L1 latency per config.
+	times := map[string][]float64{}
+	for _, row := range r.Rows {
+		times[row.Config] = append(times[row.Config], row.Time)
+	}
+	for cfg, ts := range times {
+		for i := 1; i < len(ts); i++ {
+			if ts[i]+1e-9 < ts[i-1] {
+				t.Fatalf("%s: time decreased with higher latency: %v", cfg, ts)
+			}
+		}
+	}
+	if !strings.Contains(r.Table(), "L1 latency") {
+		t.Fatal("table incomplete")
+	}
+}
+
+func TestResultBusSweepShape(t *testing.T) {
+	r := ResultBusSweep(sensOpt())
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// Fewer buses must never be faster than more buses.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Time > r.Rows[i-1].Time+1e-9 {
+			t.Fatalf("bus sweep not monotone: %+v", r.Rows)
+		}
+	}
+	// One bus must be measurably slower than four.
+	if r.Rows[0].Time < 1.01 {
+		t.Fatalf("1-bus MALEC only %.3f of 4-bus time; buses should matter", r.Rows[0].Time)
+	}
+	if !strings.Contains(r.Table(), "result bus") {
+		t.Fatal("table incomplete")
+	}
+}
+
+func TestCompareLimitShape(t *testing.T) {
+	r := CompareLimitAblation(sensOpt())
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	limit3 := r.Rows[1]
+	if limit3.Limit != 3 {
+		t.Fatalf("row order wrong: %+v", r.Rows)
+	}
+	// Paper: restricting the comparators to 3 costs < 0.5% performance.
+	if limit3.Time > 1.01 {
+		t.Fatalf("3-comparator limit costs %.2f%%, paper says <0.5%%",
+			100*(limit3.Time-1))
+	}
+	// 1 comparator merges less than 3.
+	if r.Rows[0].MergedFrac > limit3.MergedFrac+1e-9 {
+		t.Fatalf("merge fraction not monotone in comparators: %+v", r.Rows)
+	}
+}
+
+func TestMergeWindowShape(t *testing.T) {
+	r := MergeWindowAblation(sensOpt())
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	// Merged fraction must grow with the window: 16B < 32B <= 64B.
+	if !(r.Rows[0].MergedFrac < r.Rows[1].MergedFrac) {
+		t.Fatalf("32B window should merge more than 16B: %+v", r.Rows)
+	}
+	if r.Rows[1].MergedFrac > r.Rows[2].MergedFrac+1e-9 {
+		t.Fatalf("64B window should merge at least as much as 32B: %+v", r.Rows)
+	}
+	// Paper: the two-sub-block read roughly doubles merging vs one
+	// sub-block. Accept a broad band around 2x.
+	ratio := r.Rows[1].MergedFrac / r.Rows[0].MergedFrac
+	if ratio < 1.2 || ratio > 4 {
+		t.Fatalf("32B/16B merge ratio %.2f, expected roughly 2x", ratio)
+	}
+}
+
+func TestBypassShape(t *testing.T) {
+	opt := Options{Instructions: 60000, Seed: 1,
+		Benchmarks: []string{"mcf", "gzip"}}
+	r := Bypass(opt)
+	rows := map[string]BypassRow{}
+	for _, row := range r.Rows {
+		rows[row.Benchmark] = row
+	}
+	// Streaming mcf must bypass fills; cache-friendly gzip must not.
+	if rows["mcf"].BypassedFills == 0 {
+		t.Fatal("mcf never bypassed despite streaming behaviour")
+	}
+	if rows["mcf"].FillsBypass >= rows["mcf"].FillsPlain {
+		t.Fatal("bypassing did not reduce mcf fills")
+	}
+	if rows["gzip"].BypassedFills > rows["gzip"].FillsPlain/10 {
+		t.Fatalf("gzip bypassed %d fills; detector not selective",
+			rows["gzip"].BypassedFills)
+	}
+	if !strings.Contains(r.Table(), "bypass") {
+		t.Fatal("table incomplete")
+	}
+}
+
+func TestSegmentedWTShape(t *testing.T) {
+	r := SegmentedWT(sensOpt())
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	full := r.Rows[0]
+	// Full-capacity chunked table must be close to the full table.
+	if r.Rows[1].Coverage < full.Coverage-0.1 {
+		t.Fatalf("full-pool segmented coverage %v far below full table %v",
+			r.Rows[1].Coverage, full.Coverage)
+	}
+	// Smaller pools cost coverage but save storage.
+	if r.Rows[3].StorageBits >= full.StorageBits {
+		t.Fatalf("quarter pool (%d bits) not smaller than full (%d bits)",
+			r.Rows[3].StorageBits, full.StorageBits)
+	}
+	if r.Rows[3].Coverage > r.Rows[1].Coverage+1e-9 {
+		t.Fatalf("coverage should shrink with the pool: %+v", r.Rows)
+	}
+	if !strings.Contains(r.Table(), "segmented") {
+		t.Fatal("table incomplete")
+	}
+}

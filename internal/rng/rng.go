@@ -1,0 +1,95 @@
+// Package rng provides a small, fast, deterministic pseudo random number
+// generator (SplitMix64). All stochastic behaviour in the simulator flows
+// from this package so results are bit-reproducible across platforms and Go
+// releases, unlike math/rand whose stream may change between versions.
+package rng
+
+// Source is a SplitMix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New to mix the seed.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded from seed. Two sources with different seeds
+// produce uncorrelated streams for simulation purposes.
+func New(seed uint64) *Source {
+	s := &Source{state: seed}
+	// Warm the state so nearby seeds diverge immediately.
+	s.Uint64()
+	return s
+}
+
+// Uint64 returns the next 64 pseudo random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo random int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo random float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Geometric returns a pseudo random non-negative integer following a
+// geometric distribution with continuation probability p (mean p/(1-p)).
+// It is used to draw run lengths for locality bursts.
+func (s *Source) Geometric(p float64) int {
+	n := 0
+	for s.Bool(p) && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Pick returns a pseudo random index weighted by weights. Zero or negative
+// weights are treated as zero. If all weights are zero it returns 0.
+func (s *Source) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Split returns a new Source whose stream is independent of s. It is useful
+// for giving sub-components their own deterministic streams.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0xd1b54a32d192ed03)
+}

@@ -1,0 +1,122 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(9)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("value %d never drawn", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(11)
+	n := 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", got)
+	}
+	if s.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !s.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(13)
+	n := 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Geometric(0.5)
+	}
+	mean := float64(sum) / float64(n)
+	// Mean of geometric with continuation 0.5 is 1.0.
+	if math.Abs(mean-1.0) > 0.05 {
+		t.Fatalf("Geometric(0.5) mean = %v, want ~1", mean)
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	s := New(17)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[s.Pick([]float64{1, 2, 1})]++
+	}
+	if counts[1] < counts[0] || counts[1] < counts[2] {
+		t.Fatalf("weighted pick ignored weights: %v", counts)
+	}
+	if got := s.Pick([]float64{0, 0}); got != 0 {
+		t.Errorf("all-zero weights pick = %d, want 0", got)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := New(19)
+	c1 := s.Split()
+	c2 := s.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children correlated")
+	}
+}

@@ -1,0 +1,159 @@
+package stats
+
+import "malec/internal/mem"
+
+// PageLocality reproduces the Fig. 1 analysis: for each load, count how many
+// consecutive later loads access the same page, allowing up to maxGap
+// intermediate accesses to a different page. Observations are grouped into
+// the paper's run-length buckets (1, 2, 3-4, 5-8, >8).
+//
+// It also measures the headline scalars of Sec. III: the fraction of loads
+// directly followed by one or more loads to the same page (70% in the
+// paper), and the same-line fraction (46%).
+type PageLocality struct {
+	// MaxGaps lists the numbers of tolerated intermediate other-page
+	// accesses, one histogram per entry (the paper uses 0,1,2,3,4,8).
+	MaxGaps []int
+
+	hists   []*Histogram
+	prev    mem.Addr // most recent load address
+	window  int
+	samples uint64
+
+	followedSamePage uint64 // loads directly followed by a same-page load
+	followedSameLine uint64 // loads directly followed by a same-line load
+	prevValid        bool
+
+	runs []runState // one open run per gap tolerance, allocated lazily
+}
+
+// Fig1Gaps are the tolerated intermediate-access counts used by Fig. 1.
+var Fig1Gaps = []int{0, 1, 2, 3, 4, 8}
+
+// Fig1RunBounds are the run-length bucket upper bounds of Fig. 1
+// (1, 2, 3-4, 5-8, >8 consecutive accesses).
+var Fig1RunBounds = []int{1, 2, 4, 8}
+
+// NewPageLocality returns an analyzer for the given gap tolerances.
+func NewPageLocality(maxGaps []int) *PageLocality {
+	window := 0
+	for _, g := range maxGaps {
+		if g > window {
+			window = g
+		}
+	}
+	p := &PageLocality{MaxGaps: maxGaps, window: window}
+	for range maxGaps {
+		p.hists = append(p.hists, NewHistogram(Fig1RunBounds...))
+	}
+	return p
+}
+
+// ObserveLoad feeds the next dynamic load address to the analyzer.
+//
+// The implementation scans forward conceptually by scanning backwards: each
+// arriving load extends the runs of earlier loads. To keep it streaming and
+// O(window) per access it maintains, per gap tolerance, the state of the
+// currently open run.
+func (p *PageLocality) ObserveLoad(va mem.Addr) {
+	if p.prevValid {
+		if mem.SamePage(p.prev, va) {
+			p.followedSamePage++
+		}
+		if mem.SameLine(p.prev, va) {
+			p.followedSameLine++
+		}
+		p.samples++
+	}
+	p.prev = va
+	p.prevValid = true
+	for i, gap := range p.MaxGaps {
+		p.extendRuns(i, gap, va)
+	}
+}
+
+// runState tracks the open run for one gap tolerance.
+type runState struct {
+	page    mem.PageID
+	length  int
+	misses  int // consecutive other-page accesses seen since last same-page
+	open    bool
+	started bool
+}
+
+// extendRuns updates the open-run state for gap tolerance index i.
+func (p *PageLocality) extendRuns(i, gap int, va mem.Addr) {
+	if p.runs == nil {
+		p.runs = make([]runState, len(p.MaxGaps))
+	}
+	r := &p.runs[i]
+	page := va.Page()
+	if !r.started {
+		r.page, r.length, r.misses, r.open, r.started = page, 1, 0, true, true
+		return
+	}
+	if page == r.page {
+		r.length++
+		r.misses = 0
+		return
+	}
+	r.misses++
+	if r.misses > gap {
+		// Run closed: record its length and open a new one at this access.
+		p.hists[i].Observe(r.length)
+		r.page, r.length, r.misses = page, 1, 0
+	}
+}
+
+// Flush closes any open runs. Call once after the trace ends.
+func (p *PageLocality) Flush() {
+	for i := range p.runs {
+		if p.runs[i].open && p.runs[i].started {
+			p.hists[i].Observe(p.runs[i].length)
+			p.runs[i].started = false
+		}
+	}
+}
+
+// Hist returns the run-length histogram for gap tolerance index i.
+func (p *PageLocality) Hist(i int) *Histogram { return p.hists[i] }
+
+// FollowedSamePage returns the fraction of loads directly followed by a load
+// to the same page (paper: 70% on average).
+func (p *PageLocality) FollowedSamePage() float64 {
+	if p.samples == 0 {
+		return 0
+	}
+	return float64(p.followedSamePage) / float64(p.samples)
+}
+
+// FollowedSameLine returns the fraction of loads directly followed by a load
+// to the same line (paper: 46% on average).
+func (p *PageLocality) FollowedSameLine() float64 {
+	if p.samples == 0 {
+		return 0
+	}
+	return float64(p.followedSameLine) / float64(p.samples)
+}
+
+// GroupedFraction returns, for gap tolerance index i, the fraction of loads
+// that belong to runs of length >= 2, i.e. the loads amenable to page-based
+// grouping. Run-length weighting converts run counts to load counts.
+func (p *PageLocality) GroupedFraction(i int) float64 {
+	h := p.hists[i]
+	buckets := h.Buckets()
+	// Approximate load-weighted fraction using bucket midpoints.
+	mid := []float64{1, 2, 3.5, 6.5, 12}
+	var grouped, total float64
+	for j, c := range buckets {
+		w := mid[j] * float64(c)
+		total += w
+		if j > 0 {
+			grouped += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return grouped / total
+}

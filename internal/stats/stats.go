@@ -1,0 +1,150 @@
+// Package stats provides the statistics primitives used by the simulator:
+// named counters, histograms, locality analyzers and simple aggregate math
+// (geometric means) matching how the paper reports its results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named monotonically increasing event counters.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Add increments counter name by n.
+func (c *Counters) Add(name string, n uint64) { c.m[name] += n }
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.m[name]++ }
+
+// Get returns the value of counter name (zero if never touched).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns the sorted counter names.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds all counters from other into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.m {
+		c.m[k] += v
+	}
+}
+
+// String renders the counters one per line, sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, name := range c.Names() {
+		fmt.Fprintf(&b, "%-40s %12d\n", name, c.m[name])
+	}
+	return b.String()
+}
+
+// Histogram is an integer-valued histogram with explicit bucket upper
+// bounds. A sample x falls into the first bucket whose bound is >= x; values
+// above the last bound fall into the overflow bucket.
+type Histogram struct {
+	bounds   []int
+	counts   []uint64
+	overflow uint64
+	total    uint64
+	sum      float64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds ...int) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x int) {
+	h.total++
+	h.sum += float64(x)
+	for i, b := range h.bounds {
+		if x <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.overflow++
+}
+
+// Total returns the number of observed samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the mean of observed samples (0 if none).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Fraction returns the fraction of samples in bucket i (the overflow bucket
+// is index len(bounds)).
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if i == len(h.bounds) {
+		return float64(h.overflow) / float64(h.total)
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// Buckets returns a copy of the per-bucket counts, with the overflow bucket
+// appended.
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.counts)+1)
+	copy(out, h.counts)
+	out[len(h.counts)] = h.overflow
+	return out
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries.
+// The paper reports per-suite and overall geometric means.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		logSum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Ratio returns a/b, or 0 if b is zero. It keeps normalized-metric code free
+// of divide-by-zero checks.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Percent renders x (a ratio) as a percentage string with one decimal.
+func Percent(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"malec/internal/mem"
+)
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("a")
+	c.Add("a", 4)
+	c.Inc("b")
+	if c.Get("a") != 5 || c.Get("b") != 1 || c.Get("missing") != 0 {
+		t.Fatalf("counter values wrong: a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names() = %v", names)
+	}
+	other := NewCounters()
+	other.Add("a", 10)
+	other.Add("c", 2)
+	c.Merge(other)
+	if c.Get("a") != 15 || c.Get("c") != 2 {
+		t.Fatal("merge failed")
+	}
+	if !strings.Contains(c.String(), "a") {
+		t.Fatal("String() missing counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	for _, x := range []int{1, 1, 2, 3, 4, 5, 8, 9, 100} {
+		h.Observe(x)
+	}
+	buckets := h.Buckets()
+	want := []uint64{2, 1, 2, 2, 2} // 1s, 2, {3,4}, {5,8}, overflow
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, buckets[i], want[i], buckets)
+		}
+	}
+	if h.Total() != 9 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if got := h.Fraction(0); math.Abs(got-2.0/9) > 1e-12 {
+		t.Fatalf("Fraction(0) = %v", got)
+	}
+	if h.Mean() == 0 {
+		t.Fatal("Mean should be nonzero")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewHistogram(2, 1)
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %v", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(2,2,2) = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v", got)
+	}
+	// Non-positive entries ignored.
+	if got := GeoMean([]float64{-1, 0, 8, 2}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean with junk = %v", got)
+	}
+}
+
+func TestRatioAndPercent(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio by zero should be 0")
+	}
+	if Ratio(3, 2) != 1.5 {
+		t.Fatal("Ratio wrong")
+	}
+	if Percent(0.5) != "50.0%" {
+		t.Fatalf("Percent = %q", Percent(0.5))
+	}
+}
+
+func TestPageLocalityPerfectRun(t *testing.T) {
+	pl := NewPageLocality(Fig1Gaps)
+	// 100 loads to the same page: one long run.
+	for i := 0; i < 100; i++ {
+		pl.ObserveLoad(mem.MakeAddr(1, uint32(i*8)))
+	}
+	pl.Flush()
+	if got := pl.FollowedSamePage(); got != 1.0 {
+		t.Fatalf("FollowedSamePage = %v, want 1", got)
+	}
+	h := pl.Hist(0)
+	if h.Buckets()[4] != 1 { // one run of length >8
+		t.Fatalf("expected single >8 run, got %v", h.Buckets())
+	}
+	if got := pl.GroupedFraction(0); got != 1.0 {
+		t.Fatalf("GroupedFraction = %v, want 1", got)
+	}
+}
+
+func TestPageLocalityAlternating(t *testing.T) {
+	pl := NewPageLocality(Fig1Gaps)
+	// Strictly alternating pages: zero direct same-page locality, but
+	// tolerating 1 gap recovers all of it.
+	for i := 0; i < 200; i++ {
+		pl.ObserveLoad(mem.MakeAddr(mem.PageID(i%2), uint32(i*4)%4096))
+	}
+	pl.Flush()
+	if got := pl.FollowedSamePage(); got != 0 {
+		t.Fatalf("FollowedSamePage = %v, want 0", got)
+	}
+	// Gap tolerance 0: all runs length 1.
+	if got := pl.GroupedFraction(0); got != 0 {
+		t.Fatalf("GroupedFraction(gap0) = %v, want 0", got)
+	}
+	// Gap tolerance 1: both pages form two long runs.
+	if got := pl.GroupedFraction(1); got < 0.95 {
+		t.Fatalf("GroupedFraction(gap1) = %v, want ~1", got)
+	}
+}
+
+func TestPageLocalitySameLine(t *testing.T) {
+	pl := NewPageLocality([]int{0})
+	a := mem.MakeAddr(3, 256)
+	pl.ObserveLoad(a)
+	pl.ObserveLoad(a + 8) // same line
+	pl.ObserveLoad(a + 8 + mem.LineSize)
+	pl.Flush()
+	if got := pl.FollowedSameLine(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FollowedSameLine = %v, want 0.5", got)
+	}
+}
+
+func TestPageLocalityGapClosesRuns(t *testing.T) {
+	pl := NewPageLocality([]int{0, 8})
+	// Page A x3, page B x1, page A x3: with gap 0 two runs of 3;
+	// with gap 8 one run of 6 (B's access interleaved).
+	seq := []mem.PageID{1, 1, 1, 2, 1, 1, 1}
+	for i, p := range seq {
+		pl.ObserveLoad(mem.MakeAddr(p, uint32(i*64)%4096))
+	}
+	pl.Flush()
+	h0 := pl.Hist(0).Buckets()
+	// runs with gap 0: [3 (A)], [1 (B)], [3 (A)] -> bucket "3-4" twice, "1" once
+	if h0[0] != 1 || h0[2] != 2 {
+		t.Fatalf("gap-0 buckets = %v", h0)
+	}
+	h8 := pl.Hist(1).Buckets()
+	// with gap 8 the A-run never closes until flush: one run of 6 and B run of 1
+	if h8[3] != 1 { // 5-8 bucket
+		t.Fatalf("gap-8 buckets = %v", h8)
+	}
+}

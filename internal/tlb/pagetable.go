@@ -1,0 +1,64 @@
+package tlb
+
+import "malec/internal/mem"
+
+// PageTable maps virtual pages to physical pages. Physical frames are
+// assigned on first touch in a deterministic scrambled order, modelling an
+// OS allocator without preserving virtual contiguity (which matters for the
+// PIPT cache's set-index bit above the page offset).
+type PageTable struct {
+	m    map[mem.PageID]mem.PageID
+	used map[mem.PageID]struct{}
+	next uint32
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{m: make(map[mem.PageID]mem.PageID)}
+}
+
+// Translate returns the physical page for v, allocating one on first use.
+//
+// Frames are handed out with page colouring on the bit that reaches the
+// PIPT L1's set index (PA bit 12, i.e. frame bit 0): consecutive
+// allocations alternate colours, spreading pages evenly over the cache
+// halves the way colouring-aware OS allocators do. The remaining frame bits
+// are scrambled so physically-indexed structures see no artificial
+// contiguity.
+func (pt *PageTable) Translate(v mem.PageID) mem.PageID {
+	if p, ok := pt.m[v]; ok {
+		return p
+	}
+	frame := pt.next
+	pt.next++
+	// Cache colouring: preserve the virtual page's colour bit (the one
+	// that reaches the L1 set index) so virtually-contiguous data stays
+	// spread across cache halves, as colouring-aware OS allocators do.
+	color := uint32(v) & 1
+	upper := frame * 2654435761
+	p := mem.PageID((upper<<1 | color) & (1<<mem.PageBits - 1))
+	// Linear-probe in colour-preserving steps to keep the map injective.
+	for pt.taken(p) {
+		p = (p + 2) & (1<<mem.PageBits - 1)
+	}
+	pt.m[v] = p
+	pt.used[p] = struct{}{}
+	return p
+}
+
+// taken reports whether physical page p is already assigned.
+func (pt *PageTable) taken(p mem.PageID) bool {
+	if pt.used == nil {
+		pt.used = make(map[mem.PageID]struct{})
+	}
+	_, ok := pt.used[p]
+	return ok
+}
+
+// Pages returns the number of mapped pages.
+func (pt *PageTable) Pages() int { return len(pt.m) }
+
+// TranslateAddr translates a full virtual address.
+func (pt *PageTable) TranslateAddr(va mem.Addr) mem.Addr {
+	return mem.MakeAddr(pt.Translate(va.Page()), va.PageOffset())
+}

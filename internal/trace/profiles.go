@@ -1,0 +1,309 @@
+package trace
+
+// Benchmark profiles. One per benchmark of the paper's Fig. 4; parameter
+// choices encode the per-benchmark behaviour the paper describes:
+//
+//   - mcf/art: large working sets, low locality, miss rates far above
+//     average (mcf ~7x), pointer chasing (mcf) or streaming (art).
+//   - gap: 37% loads of all instructions, dependency chains that prevent
+//     re-ordering, very merge-friendly accesses (56% of speedup).
+//   - equake: highest merge contribution (66%); mgrid: lowest (<2%,
+//     line-sized strides kill intra-line locality).
+//   - djpeg/h263dec: excellent locality, many parallel accesses (~30%
+//     MALEC speedup).
+//   - Suites: SPEC-INT memRatio ~0.45, SPEC-FP ~0.40, MediaBench2 ~0.37
+//     with highly structured multi-stream access.
+
+// Suite names.
+const (
+	SuiteSpecInt = "spec-int"
+	SuiteSpecFP  = "spec-fp"
+	SuiteMB2     = "mb2"
+)
+
+// Suites lists the suite names in the paper's reporting order.
+var Suites = []string{SuiteSpecInt, SuiteSpecFP, SuiteMB2}
+
+// intDefaults returns the SPEC-INT baseline profile.
+func intDefaults(name string) Profile {
+	return Profile{
+		Name: name, Suite: SuiteSpecInt,
+		MemRatio: 0.45, LoadFrac: 2.0 / 3.0,
+		NumStreams: 2, StreamSwitchProb: 0.15, StreamStride: 24,
+		StreamRegionPages: 2,
+		SamePageProb:      0.85, SameLineProb: 0.16, SeqPageProb: 0.6,
+		RandomFrac: 0.008, WorkingSetPages: 256,
+		LoadDepProb: 0.62, MemDepProb: 0.22, DepWindow: 32, AluChainProb: 0.8,
+		BranchRatio: 0.18, MispredictProb: 0.30, BranchLoadDepProb: 0.75,
+		WideAccessFrac: 0.05,
+	}
+}
+
+// fpDefaults returns the SPEC-FP baseline profile.
+func fpDefaults(name string) Profile {
+	return Profile{
+		Name: name, Suite: SuiteSpecFP,
+		MemRatio: 0.40, LoadFrac: 2.0 / 3.0,
+		NumStreams: 2, StreamSwitchProb: 0.18, StreamStride: 24,
+		StreamRegionPages: 2,
+		SamePageProb:      0.86, SameLineProb: 0.18, SeqPageProb: 0.75,
+		RandomFrac: 0.005, WorkingSetPages: 512,
+		LoadDepProb: 0.52, MemDepProb: 0.12, DepWindow: 32, AluChainProb: 0.72,
+		BranchRatio: 0.12, MispredictProb: 0.34, BranchLoadDepProb: 0.6,
+		WideAccessFrac: 0.15,
+	}
+}
+
+// mb2Defaults returns the MediaBench2 baseline profile.
+func mb2Defaults(name string) Profile {
+	return Profile{
+		Name: name, Suite: SuiteMB2,
+		MemRatio: 0.37, LoadFrac: 2.0 / 3.0,
+		NumStreams: 2, StreamSwitchProb: 0.25, StreamStride: 16,
+		StreamRegionPages: 2,
+		SamePageProb:      0.90, SameLineProb: 0.28, SeqPageProb: 0.8,
+		RandomFrac: 0.003, WorkingSetPages: 96,
+		LoadDepProb: 0.3, MemDepProb: 0.06, DepWindow: 32, AluChainProb: 0.62,
+		BranchRatio: 0.15, MispredictProb: 0.19, BranchLoadDepProb: 0.55,
+		WideAccessFrac: 0.30,
+	}
+}
+
+// with applies a mutation to a profile (builder helper).
+func with(p Profile, f func(*Profile)) Profile {
+	f(&p)
+	return p
+}
+
+// Profiles is the registry of all benchmark profiles, keyed by name.
+var Profiles = buildProfiles()
+
+// Benchmarks lists benchmark names grouped by suite in the paper's order.
+var Benchmarks = map[string][]string{
+	SuiteSpecInt: {"gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon",
+		"perlbmk", "gap", "vortex", "bzip2", "twolf"},
+	SuiteSpecFP: {"wupwise", "swim", "mgrid", "applu", "mesa", "galgel",
+		"art", "equake", "facerec", "ammp", "lucas", "fma3d", "sixtrack",
+		"apsi"},
+	SuiteMB2: {"cjpeg", "djpeg", "h263dec", "h263enc", "h264dec", "h264enc",
+		"jpg2000dec", "jpg2000enc", "mpeg2dec", "mpeg2enc", "mpeg4dec",
+		"mpeg4enc"},
+}
+
+// AllBenchmarks returns every benchmark name in suite order.
+func AllBenchmarks() []string {
+	var out []string
+	for _, suite := range Suites {
+		out = append(out, Benchmarks[suite]...)
+	}
+	return out
+}
+
+func buildProfiles() map[string]Profile {
+	m := make(map[string]Profile)
+	add := func(p Profile) { m[p.Name] = p }
+
+	// ---- SPEC-INT ----
+	add(intDefaults("gzip"))
+	add(with(intDefaults("vpr"), func(p *Profile) {
+		p.StreamRegionPages = 2
+		p.WorkingSetPages = 512
+		p.SamePageProb = 0.82
+	}))
+	add(with(intDefaults("gcc"), func(p *Profile) {
+		p.RandomFrac = 0.04
+		p.StreamRegionPages = 2
+		p.WorkingSetPages = 1024
+		p.SamePageProb = 0.78
+		p.StreamSwitchProb = 0.22
+	}))
+	add(with(intDefaults("mcf"), func(p *Profile) {
+		p.StreamRegionPages = 2048
+		// Pointer chasing over a huge working set: exceptionally high
+		// miss rate (~7x average) and low locality.
+		p.WorkingSetPages = 8192
+		p.RandomFrac = 0.2
+		p.SamePageProb = 0.55
+		p.SameLineProb = 0.45
+		p.MemDepProb = 0.65
+		p.MispredictProb = 0.26
+		p.BranchLoadDepProb = 0.75
+		p.LoadDepProb = 0.55
+		p.SeqPageProb = 0.2
+	}))
+	add(with(intDefaults("crafty"), func(p *Profile) {
+		p.WorkingSetPages = 128
+		p.SameLineProb = 0.2
+	}))
+	add(with(intDefaults("parser"), func(p *Profile) {
+		p.StreamRegionPages = 2
+		p.WorkingSetPages = 512
+		p.SamePageProb = 0.78
+		p.MemDepProb = 0.3
+	}))
+	add(with(intDefaults("eon"), func(p *Profile) {
+		p.WorkingSetPages = 96
+		p.SamePageProb = 0.86
+	}))
+	add(with(intDefaults("perlbmk"), func(p *Profile) {
+		p.WorkingSetPages = 512
+		p.SamePageProb = 0.8
+	}))
+	add(with(intDefaults("gap"), func(p *Profile) {
+		// 37% of instructions are loads; heavy dependency chains that
+		// prevent re-ordering; very merge-friendly.
+		p.MemRatio = 0.48
+		p.LoadFrac = 0.77
+		p.LoadDepProb = 0.7
+		p.MemDepProb = 0.35
+		p.SameLineProb = 0.42
+		p.SamePageProb = 0.88
+		p.NumStreams = 2
+		p.StreamSwitchProb = 0.1
+	}))
+	add(with(intDefaults("vortex"), func(p *Profile) {
+		p.WorkingSetPages = 512
+	}))
+	add(with(intDefaults("bzip2"), func(p *Profile) {
+		p.SamePageProb = 0.88
+		p.SeqPageProb = 0.85
+		p.WorkingSetPages = 384
+	}))
+	add(with(intDefaults("twolf"), func(p *Profile) {
+		p.StreamRegionPages = 2
+		p.SamePageProb = 0.75
+		p.WorkingSetPages = 256
+	}))
+
+	// ---- SPEC-FP ----
+	add(with(fpDefaults("wupwise"), func(p *Profile) {
+		p.SameLineProb = 0.24
+	}))
+	add(with(fpDefaults("swim"), func(p *Profile) {
+		p.StreamRegionPages = 8
+		// Streaming over large arrays.
+		p.WorkingSetPages = 2048
+		p.NumStreams = 2
+		p.SeqPageProb = 0.9
+		p.SamePageProb = 0.82
+	}))
+	add(with(fpDefaults("mgrid"), func(p *Profile) {
+		p.RandomFrac = 0.02
+		p.StreamRegionPages = 2
+		// Line-sized strides: almost no intra-line reuse, so load
+		// merging contributes <2% of the speedup.
+		p.StreamStride = 64
+		p.SameLineProb = 0.04
+		p.WorkingSetPages = 1024
+		p.WideAccessFrac = 0.25
+	}))
+	add(with(fpDefaults("applu"), func(p *Profile) {
+		p.RandomFrac = 0.025
+		p.StreamRegionPages = 2
+		p.WorkingSetPages = 1024
+		p.NumStreams = 2
+	}))
+	add(with(fpDefaults("mesa"), func(p *Profile) {
+		p.WorkingSetPages = 128
+		p.SamePageProb = 0.88
+		p.SameLineProb = 0.26
+	}))
+	add(with(fpDefaults("galgel"), func(p *Profile) {
+		p.NumStreams = 2
+		p.SamePageProb = 0.84
+	}))
+	add(with(fpDefaults("art"), func(p *Profile) {
+		p.StreamRegionPages = 512
+		// Streaming with a working set far beyond L1/L2: high miss
+		// rate, little benefit from faster L1.
+		p.WorkingSetPages = 4096
+		p.RandomFrac = 0.04
+		p.SamePageProb = 0.75
+		p.SameLineProb = 0.1
+		p.SeqPageProb = 0.5
+	}))
+	add(with(fpDefaults("equake"), func(p *Profile) {
+		// Highest merge contribution (66%): dense same-line accesses.
+		p.SameLineProb = 0.48
+		p.NumStreams = 2
+		p.StreamSwitchProb = 0.1
+		p.SamePageProb = 0.88
+	}))
+	add(with(fpDefaults("facerec"), func(p *Profile) {
+		p.SamePageProb = 0.85
+	}))
+	add(with(fpDefaults("ammp"), func(p *Profile) {
+		p.RandomFrac = 0.03
+		p.StreamRegionPages = 2
+		p.WorkingSetPages = 1024
+		p.SamePageProb = 0.78
+	}))
+	add(with(fpDefaults("lucas"), func(p *Profile) {
+		p.StreamStride = 16
+		p.NumStreams = 2
+		p.SamePageProb = 0.88
+	}))
+	add(with(fpDefaults("fma3d"), func(p *Profile) {
+		p.WorkingSetPages = 512
+	}))
+	add(with(fpDefaults("sixtrack"), func(p *Profile) {
+		p.SamePageProb = 0.88
+		p.SameLineProb = 0.26
+	}))
+	add(with(fpDefaults("apsi"), func(p *Profile) {
+		p.NumStreams = 3
+	}))
+
+	// ---- MediaBench2 ----
+	add(with(mb2Defaults("cjpeg"), func(p *Profile) {
+		p.SameLineProb = 0.32
+	}))
+	add(with(mb2Defaults("djpeg"), func(p *Profile) {
+		// Excellent locality, numerous parallel accesses: ~30% MALEC
+		// speedup.
+		p.NumStreams = 2
+		p.SamePageProb = 0.93
+		p.SameLineProb = 0.24
+		p.LoadDepProb = 0.08
+		p.StreamSwitchProb = 0.2
+	}))
+	add(with(mb2Defaults("h263dec"), func(p *Profile) {
+		p.SamePageProb = 0.93
+		p.SameLineProb = 0.24
+		p.LoadDepProb = 0.08
+		p.NumStreams = 2
+	}))
+	add(with(mb2Defaults("h263enc"), func(p *Profile) {
+		p.SamePageProb = 0.87
+	}))
+	add(with(mb2Defaults("h264dec"), func(p *Profile) {
+		p.SamePageProb = 0.9
+	}))
+	add(with(mb2Defaults("h264enc"), func(p *Profile) {
+		p.SamePageProb = 0.85
+		p.WorkingSetPages = 256
+		p.LoadDepProb = 0.25
+	}))
+	add(with(mb2Defaults("jpg2000dec"), func(p *Profile) {
+		p.SamePageProb = 0.88
+	}))
+	add(with(mb2Defaults("jpg2000enc"), func(p *Profile) {
+		p.SamePageProb = 0.87
+		p.LoadDepProb = 0.22
+	}))
+	add(with(mb2Defaults("mpeg2dec"), func(p *Profile) {
+		p.SamePageProb = 0.91
+		p.SameLineProb = 0.33
+	}))
+	add(with(mb2Defaults("mpeg2enc"), func(p *Profile) {
+		p.SamePageProb = 0.88
+	}))
+	add(with(mb2Defaults("mpeg4dec"), func(p *Profile) {
+		p.SamePageProb = 0.9
+	}))
+	add(with(mb2Defaults("mpeg4enc"), func(p *Profile) {
+		p.SamePageProb = 0.86
+		p.LoadDepProb = 0.25
+	}))
+	return m
+}

@@ -1,0 +1,96 @@
+// Package waytable implements Page-Based Way Determination (Sec. V): way
+// tables (WT) coupled to the TLB and micro way tables (uWT) coupled to the
+// uTLB, holding per-line validity+way codes for every line of a page; the
+// last-entry feedback update mechanism; and, for the Sec. VI-C comparison,
+// an adaptation of Nicolaescu et al.'s Way Determination Unit (WDU)
+// extended with validity bits.
+package waytable
+
+import "malec/internal/mem"
+
+// codeUnknown is the 2 bit code meaning "way unknown / invalid".
+const codeUnknown = 0
+
+// Entry is one way-table entry: a 2 bit validity+way code for each of the
+// 64 lines of a page. The paper packs this into 128 bits (vs 192 for naive
+// separate valid+way fields) by excluding one way per line from the
+// encoding: way (l/4) mod 4 is deemed "way unknown" for line l, so codes
+// 1..3 name the three remaining ways.
+type Entry struct {
+	codes [mem.LinesPerPage]uint8
+}
+
+// BitsPerEntry is the storage cost of one entry in bits (for the energy
+// and area model).
+const BitsPerEntry = 2 * mem.LinesPerPage // 128
+
+// encode maps a way to the 2 bit code for a line, or codeUnknown if the way
+// is the line's excluded way (not representable).
+func encode(lineInPage uint32, way int) uint8 {
+	excluded := mem.ExcludedWayForLine(lineInPage)
+	if way == excluded {
+		return codeUnknown
+	}
+	code := uint8(1)
+	for w := 0; w < mem.L1Ways; w++ {
+		if w == excluded {
+			continue
+		}
+		if w == way {
+			return code
+		}
+		code++
+	}
+	return codeUnknown // way out of range
+}
+
+// decode maps a 2 bit code back to a way; known is false for codeUnknown.
+func decode(lineInPage uint32, code uint8) (way int, known bool) {
+	if code == codeUnknown {
+		return -1, false
+	}
+	excluded := mem.ExcludedWayForLine(lineInPage)
+	c := uint8(1)
+	for w := 0; w < mem.L1Ways; w++ {
+		if w == excluded {
+			continue
+		}
+		if c == code {
+			return w, true
+		}
+		c++
+	}
+	return -1, false
+}
+
+// Set records that the line resides in way; it returns false when the way
+// is the line's excluded way (the code stays/becomes unknown).
+func (e *Entry) Set(lineInPage uint32, way int) bool {
+	code := encode(lineInPage, way)
+	e.codes[lineInPage] = code
+	return code != codeUnknown
+}
+
+// Get returns the recorded way for the line, if known and valid.
+func (e *Entry) Get(lineInPage uint32) (way int, known bool) {
+	return decode(lineInPage, e.codes[lineInPage])
+}
+
+// Invalidate marks the line's way unknown (line eviction).
+func (e *Entry) Invalidate(lineInPage uint32) {
+	e.codes[lineInPage] = codeUnknown
+}
+
+// Reset invalidates every line (new page allocation).
+func (e *Entry) Reset() { e.codes = [mem.LinesPerPage]uint8{} }
+
+// KnownLines returns how many lines currently have a known way.
+func (e *Entry) KnownLines() int {
+	n := 0
+	for _, c := range e.codes {
+		if c != codeUnknown {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,233 @@
+package waytable
+
+import "malec/internal/mem"
+
+// Store is the way-information storage interface shared by the full Table
+// and the SegmentedTable, letting the PageSystem run on either. The paper
+// suggests segmentation as an extension for wide pages (Sec. VI-D): "the WT
+// itself might be segmented. By allocating and replacing WT chunks in a
+// FIFO or LRU manner, their number could be smaller than required to
+// represent full pages."
+type Store interface {
+	Size() int
+	Reset(idx int, page mem.PageID)
+	InvalidateSlot(idx int)
+	SlotFor(p mem.PageID) int
+	PageAt(idx int) (mem.PageID, bool)
+	Read(idx int, lineInPage uint32) (way int, known bool)
+	Peek(idx int, lineInPage uint32) (way int, known bool)
+	SetLine(idx int, lineInPage uint32, way int)
+	InvalidateLine(idx int, lineInPage uint32)
+	// CopyFrom transfers the full way information for dstIdx from slot
+	// srcIdx of src (uWT<->WT synchronization).
+	CopyFrom(dstIdx int, src Store, srcIdx int)
+	// StorageBits returns the table's total storage cost in bits (for
+	// the area/leakage comparison against full tables).
+	StorageBits() int
+}
+
+// Table implements Store; CopyFrom generalizes CopySlot to any Store.
+func (t *Table) CopyFrom(dstIdx int, src Store, srcIdx int) {
+	if st, ok := src.(*Table); ok {
+		t.CopySlot(dstIdx, st, srcIdx)
+		return
+	}
+	page, valid := src.PageAt(srcIdx)
+	if !valid {
+		t.InvalidateSlot(dstIdx)
+		return
+	}
+	t.Reset(dstIdx, page)
+	for l := uint32(0); l < mem.LinesPerPage; l++ {
+		if way, known := src.Peek(srcIdx, l); known {
+			t.entries[dstIdx].Set(l, way)
+		}
+	}
+	t.stats.EntryTransfers++
+}
+
+// StorageBits implements Store for the full table.
+func (t *Table) StorageBits() int { return len(t.entries) * BitsPerEntry }
+
+// segChunk is one shared pool chunk covering chunkLines lines of one page.
+type segChunk struct {
+	owner int    // slot index owning the chunk, -1 when free
+	part  uint32 // which chunk of the page (lineInPage / chunkLines)
+	codes []uint8
+}
+
+// SegmentedTable is a way table whose line codes live in a shared pool of
+// fixed-size chunks, allocated on demand and replaced FIFO. With fewer pool
+// chunks than slots*chunksPerPage it trades coverage for area — the
+// trade-off the paper proposes for wide pages.
+type SegmentedTable struct {
+	name       string
+	chunkLines int
+	slots      []segSlot
+	pool       []segChunk
+	fifo       int
+	stats      TableStats
+}
+
+type segSlot struct {
+	page  mem.PageID
+	valid bool
+}
+
+// NewSegmentedTable returns a segmented table with size slots, chunks of
+// chunkLines lines, and poolChunks shared chunks.
+func NewSegmentedTable(name string, size, chunkLines, poolChunks int) *SegmentedTable {
+	if mem.LinesPerPage%chunkLines != 0 {
+		panic("waytable: chunkLines must divide lines per page")
+	}
+	t := &SegmentedTable{name: name, chunkLines: chunkLines,
+		slots: make([]segSlot, size), pool: make([]segChunk, poolChunks)}
+	for i := range t.pool {
+		t.pool[i] = segChunk{owner: -1, codes: make([]uint8, chunkLines)}
+	}
+	return t
+}
+
+// Size implements Store.
+func (t *SegmentedTable) Size() int { return len(t.slots) }
+
+// Stats returns the activity counters.
+func (t *SegmentedTable) Stats() TableStats { return t.stats }
+
+// StorageBits implements Store: pool codes plus per-chunk owner/part tags.
+func (t *SegmentedTable) StorageBits() int {
+	tagBits := 8 + 3 // owner id + part id, generous
+	return len(t.pool) * (2*t.chunkLines + tagBits)
+}
+
+// Reset implements Store: claims the slot and frees its old chunks.
+func (t *SegmentedTable) Reset(idx int, page mem.PageID) {
+	t.freeChunks(idx)
+	t.slots[idx] = segSlot{page: page, valid: true}
+	t.stats.Resets++
+}
+
+// InvalidateSlot implements Store.
+func (t *SegmentedTable) InvalidateSlot(idx int) {
+	t.freeChunks(idx)
+	t.slots[idx].valid = false
+}
+
+// freeChunks releases every pool chunk owned by slot idx.
+func (t *SegmentedTable) freeChunks(idx int) {
+	for i := range t.pool {
+		if t.pool[i].owner == idx {
+			t.pool[i].owner = -1
+		}
+	}
+}
+
+// SlotFor implements Store.
+func (t *SegmentedTable) SlotFor(p mem.PageID) int {
+	for i := range t.slots {
+		if t.slots[i].valid && t.slots[i].page == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// PageAt implements Store.
+func (t *SegmentedTable) PageAt(idx int) (mem.PageID, bool) {
+	return t.slots[idx].page, t.slots[idx].valid
+}
+
+// chunkFor finds the pool chunk for (slot, part), or -1.
+func (t *SegmentedTable) chunkFor(idx int, part uint32) int {
+	for i := range t.pool {
+		if t.pool[i].owner == idx && t.pool[i].part == part {
+			return i
+		}
+	}
+	return -1
+}
+
+// allocChunk claims a pool chunk for (slot, part), FIFO-replacing.
+func (t *SegmentedTable) allocChunk(idx int, part uint32) int {
+	for i := range t.pool {
+		if t.pool[i].owner == -1 {
+			t.claim(i, idx, part)
+			return i
+		}
+	}
+	victim := t.fifo
+	t.fifo = (t.fifo + 1) % len(t.pool)
+	t.claim(victim, idx, part)
+	return victim
+}
+
+// claim resets a chunk for a new owner.
+func (t *SegmentedTable) claim(i, idx int, part uint32) {
+	t.pool[i].owner = idx
+	t.pool[i].part = part
+	for j := range t.pool[i].codes {
+		t.pool[i].codes[j] = codeUnknown
+	}
+}
+
+// Read implements Store.
+func (t *SegmentedTable) Read(idx int, lineInPage uint32) (way int, known bool) {
+	t.stats.Reads++
+	return t.Peek(idx, lineInPage)
+}
+
+// Peek implements Store.
+func (t *SegmentedTable) Peek(idx int, lineInPage uint32) (way int, known bool) {
+	if !t.slots[idx].valid {
+		return -1, false
+	}
+	part := lineInPage / uint32(t.chunkLines)
+	c := t.chunkFor(idx, part)
+	if c < 0 {
+		return -1, false
+	}
+	return decode(lineInPage, t.pool[c].codes[lineInPage%uint32(t.chunkLines)])
+}
+
+// SetLine implements Store, allocating the chunk on demand.
+func (t *SegmentedTable) SetLine(idx int, lineInPage uint32, way int) {
+	if !t.slots[idx].valid {
+		return
+	}
+	part := lineInPage / uint32(t.chunkLines)
+	c := t.chunkFor(idx, part)
+	if c < 0 {
+		c = t.allocChunk(idx, part)
+	}
+	t.pool[c].codes[lineInPage%uint32(t.chunkLines)] = encode(lineInPage, way)
+	t.stats.LineUpdates++
+}
+
+// InvalidateLine implements Store. Absent chunks stay absent (unknown).
+func (t *SegmentedTable) InvalidateLine(idx int, lineInPage uint32) {
+	if !t.slots[idx].valid {
+		return
+	}
+	part := lineInPage / uint32(t.chunkLines)
+	if c := t.chunkFor(idx, part); c >= 0 {
+		t.pool[c].codes[lineInPage%uint32(t.chunkLines)] = codeUnknown
+		t.stats.LineUpdates++
+	}
+}
+
+// CopyFrom implements Store: reconstructs the source slot's known lines,
+// allocating chunks as needed.
+func (t *SegmentedTable) CopyFrom(dstIdx int, src Store, srcIdx int) {
+	page, valid := src.PageAt(srcIdx)
+	if !valid {
+		t.InvalidateSlot(dstIdx)
+		return
+	}
+	t.Reset(dstIdx, page)
+	for l := uint32(0); l < mem.LinesPerPage; l++ {
+		if way, known := src.Peek(srcIdx, l); known {
+			t.SetLine(dstIdx, l, way)
+		}
+	}
+	t.stats.EntryTransfers++
+}

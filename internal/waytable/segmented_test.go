@@ -1,0 +1,111 @@
+package waytable
+
+import (
+	"testing"
+
+	"malec/internal/mem"
+)
+
+func TestSegmentedBasicRoundTrip(t *testing.T) {
+	s := NewSegmentedTable("seg", 4, 16, 16) // full capacity
+	s.Reset(1, 42)
+	s.SetLine(1, 5, 2)
+	s.SetLine(1, 20, 3) // different chunk
+	if w, known := s.Peek(1, 5); !known || w != 2 {
+		t.Fatalf("line 5: %d %v", w, known)
+	}
+	if w, known := s.Peek(1, 20); !known || w != 3 {
+		t.Fatalf("line 20: %d %v", w, known)
+	}
+	if _, known := s.Peek(1, 6); known {
+		t.Fatal("unset line known")
+	}
+	s.InvalidateLine(1, 5)
+	if _, known := s.Peek(1, 5); known {
+		t.Fatal("line survived invalidation")
+	}
+}
+
+func TestSegmentedSlotLifecycle(t *testing.T) {
+	s := NewSegmentedTable("seg", 4, 16, 16)
+	s.Reset(0, 10)
+	s.SetLine(0, 0, 1)
+	if s.SlotFor(10) != 0 {
+		t.Fatal("SlotFor failed")
+	}
+	s.InvalidateSlot(0)
+	if s.SlotFor(10) != -1 {
+		t.Fatal("slot survived invalidation")
+	}
+	// Chunks freed: a fresh slot must not see stale codes.
+	s.Reset(0, 10)
+	if _, known := s.Peek(0, 0); known {
+		t.Fatal("stale chunk visible after slot reuse")
+	}
+}
+
+func TestSegmentedPoolPressure(t *testing.T) {
+	// Pool smaller than demand: FIFO replacement loses old chunks but the
+	// store must never return wrong ways, only "unknown".
+	s := NewSegmentedTable("seg", 4, 16, 2)
+	s.Reset(0, 10)
+	s.Reset(1, 11)
+	s.SetLine(0, 0, 1)  // chunk A
+	s.SetLine(0, 16, 2) // chunk B
+	s.SetLine(1, 32, 3) // chunk C: evicts A (FIFO)
+	if _, known := s.Peek(0, 0); known {
+		t.Fatal("evicted chunk still known")
+	}
+	if w, known := s.Peek(1, 32); !known || w != 3 {
+		t.Fatalf("fresh chunk lost: %d %v", w, known)
+	}
+}
+
+func TestSegmentedCopyFromFull(t *testing.T) {
+	full := NewTable("WT", 4)
+	full.Reset(2, 7)
+	full.SetLine(2, 3, 2)
+	full.SetLine(2, 40, 1)
+	seg := NewSegmentedTable("uWT", 4, 16, 16)
+	seg.CopyFrom(0, full, 2)
+	if w, known := seg.Peek(0, 3); !known || w != 2 {
+		t.Fatalf("line 3 lost in copy: %d %v", w, known)
+	}
+	if w, known := seg.Peek(0, 40); !known || w != 1 {
+		t.Fatalf("line 40 lost in copy: %d %v", w, known)
+	}
+	// And back: full table copying from segmented.
+	full2 := NewTable("WT", 4)
+	full2.CopyFrom(1, seg, 0)
+	if w, known := full2.Peek(1, 3); !known || w != 2 {
+		t.Fatalf("round trip lost line 3: %d %v", w, known)
+	}
+}
+
+func TestSegmentedStorageBits(t *testing.T) {
+	full := NewTable("WT", 64)
+	half := NewSegmentedTable("WT", 64, 16, 64*4/2)
+	if half.StorageBits() >= full.StorageBits() {
+		t.Fatalf("half pool (%d bits) not smaller than full table (%d bits)",
+			half.StorageBits(), full.StorageBits())
+	}
+}
+
+func TestSegmentedBadChunkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSegmentedTable("seg", 4, 7, 4) // 7 does not divide 64
+}
+
+func TestSegmentedExcludedWayStaysUnknown(t *testing.T) {
+	s := NewSegmentedTable("seg", 2, 16, 8)
+	s.Reset(0, 5)
+	line := uint32(0)
+	s.SetLine(0, line, mem.ExcludedWayForLine(line))
+	if _, known := s.Peek(0, line); known {
+		t.Fatal("excluded way must be unrepresentable in segmented tables too")
+	}
+}

@@ -1,0 +1,115 @@
+package waytable
+
+import "malec/internal/mem"
+
+// TableStats counts way-table activity for the energy model.
+type TableStats struct {
+	Reads          uint64 // entry reads piggybacked on TLB lookups
+	LineUpdates    uint64 // single-line code writes (fills/evicts/feedback)
+	EntryTransfers uint64 // full 128 bit entry moves (uWT<->WT sync)
+	Resets         uint64 // full entry invalidations (new page)
+}
+
+// Table is a WT or uWT: way-table entries indexed in lockstep with the
+// entries of its companion (u)TLB, plus a record of which physical page
+// each slot currently describes.
+type Table struct {
+	Name    string
+	entries []Entry
+	pages   []mem.PageID // physical page per slot
+	valid   []bool
+	stats   TableStats
+}
+
+// NewTable returns a table with size entries (matching its TLB).
+func NewTable(name string, size int) *Table {
+	return &Table{
+		Name:    name,
+		entries: make([]Entry, size),
+		pages:   make([]mem.PageID, size),
+		valid:   make([]bool, size),
+	}
+}
+
+// Size returns the number of entries.
+func (t *Table) Size() int { return len(t.entries) }
+
+// Stats returns a copy of the activity counters.
+func (t *Table) Stats() TableStats { return t.stats }
+
+// Reset clears slot idx for a new physical page, invalidating all lines.
+func (t *Table) Reset(idx int, page mem.PageID) {
+	t.entries[idx].Reset()
+	t.pages[idx] = page
+	t.valid[idx] = true
+	t.stats.Resets++
+}
+
+// InvalidateSlot clears slot idx entirely.
+func (t *Table) InvalidateSlot(idx int) {
+	t.entries[idx].Reset()
+	t.valid[idx] = false
+}
+
+// SlotFor returns the slot currently describing physical page p, or -1.
+func (t *Table) SlotFor(p mem.PageID) int {
+	for i := range t.pages {
+		if t.valid[i] && t.pages[i] == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// PageAt returns the physical page described by slot idx and whether the
+// slot is valid.
+func (t *Table) PageAt(idx int) (mem.PageID, bool) {
+	return t.pages[idx], t.valid[idx]
+}
+
+// Read returns the way code for a line of the page at slot idx, counting
+// one entry read. It returns known=false for invalid slots.
+func (t *Table) Read(idx int, lineInPage uint32) (way int, known bool) {
+	t.stats.Reads++
+	if !t.valid[idx] {
+		return -1, false
+	}
+	return t.entries[idx].Get(lineInPage)
+}
+
+// Peek is Read without statistics.
+func (t *Table) Peek(idx int, lineInPage uint32) (way int, known bool) {
+	if !t.valid[idx] {
+		return -1, false
+	}
+	return t.entries[idx].Get(lineInPage)
+}
+
+// SetLine records a line's way in slot idx (fill or feedback update).
+func (t *Table) SetLine(idx int, lineInPage uint32, way int) {
+	if !t.valid[idx] {
+		return
+	}
+	t.entries[idx].Set(lineInPage, way)
+	t.stats.LineUpdates++
+}
+
+// InvalidateLine marks a line unknown in slot idx (line eviction).
+func (t *Table) InvalidateLine(idx int, lineInPage uint32) {
+	if !t.valid[idx] {
+		return
+	}
+	t.entries[idx].Invalidate(lineInPage)
+	t.stats.LineUpdates++
+}
+
+// CopySlot transfers the full entry from slot srcIdx of src into slot
+// dstIdx of t (uWT refill from WT, or uWT writeback to WT), counting one
+// entry transfer on each side.
+func (t *Table) CopySlot(dstIdx int, src *Table, srcIdx int) {
+	t.entries[dstIdx] = src.entries[srcIdx]
+	t.pages[dstIdx] = src.pages[srcIdx]
+	t.valid[dstIdx] = src.valid[srcIdx]
+	t.stats.EntryTransfers++
+	src.stats.EntryTransfers++
+}

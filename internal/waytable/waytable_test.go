@@ -1,0 +1,294 @@
+package waytable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"malec/internal/mem"
+	"malec/internal/rng"
+	"malec/internal/tlb"
+)
+
+func TestEncodingRoundTrip(t *testing.T) {
+	// Every (line, way) pair except the excluded way must round-trip.
+	for l := uint32(0); l < mem.LinesPerPage; l++ {
+		excluded := mem.ExcludedWayForLine(l)
+		for w := 0; w < mem.L1Ways; w++ {
+			var e Entry
+			ok := e.Set(l, w)
+			got, known := e.Get(l)
+			if w == excluded {
+				if ok || known {
+					t.Fatalf("line %d way %d: excluded way must be unrepresentable", l, w)
+				}
+				continue
+			}
+			if !ok || !known || got != w {
+				t.Fatalf("line %d way %d: got %d known=%v ok=%v", l, w, got, known, ok)
+			}
+		}
+	}
+}
+
+func TestEncodingProperty(t *testing.T) {
+	f := func(rawLine uint32, rawWay uint8) bool {
+		l := rawLine % mem.LinesPerPage
+		w := int(rawWay) % mem.L1Ways
+		var e Entry
+		e.Set(l, w)
+		got, known := e.Get(l)
+		if w == mem.ExcludedWayForLine(l) {
+			return !known
+		}
+		return known && got == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntryInvalidateAndReset(t *testing.T) {
+	var e Entry
+	e.Set(5, 2)
+	e.Set(9, 3)
+	if e.KnownLines() != 2 {
+		t.Fatalf("KnownLines = %d", e.KnownLines())
+	}
+	e.Invalidate(5)
+	if _, known := e.Get(5); known {
+		t.Fatal("line survived invalidation")
+	}
+	e.Reset()
+	if e.KnownLines() != 0 {
+		t.Fatal("reset left known lines")
+	}
+}
+
+func TestEntryBits(t *testing.T) {
+	if BitsPerEntry != 128 {
+		t.Fatalf("BitsPerEntry = %d, want 128 (paper Sec. V)", BitsPerEntry)
+	}
+}
+
+func TestTableSlots(t *testing.T) {
+	tab := NewTable("WT", 4)
+	tab.Reset(2, 77)
+	if got := tab.SlotFor(77); got != 2 {
+		t.Fatalf("SlotFor = %d", got)
+	}
+	tab.SetLine(2, 10, 1)
+	if w, known := tab.Read(2, 10); !known || w != 1 {
+		t.Fatalf("Read = %d,%v", w, known)
+	}
+	tab.InvalidateLine(2, 10)
+	if _, known := tab.Peek(2, 10); known {
+		t.Fatal("line survived invalidation")
+	}
+	tab.InvalidateSlot(2)
+	if tab.SlotFor(77) != -1 {
+		t.Fatal("slot survived invalidation")
+	}
+	st := tab.Stats()
+	if st.Reads != 1 || st.LineUpdates != 2 || st.Resets != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCopySlot(t *testing.T) {
+	src := NewTable("WT", 2)
+	dst := NewTable("uWT", 2)
+	src.Reset(0, 5)
+	src.SetLine(0, 3, 2)
+	dst.CopySlot(1, src, 0)
+	if w, known := dst.Peek(1, 3); !known || w != 2 {
+		t.Fatalf("copied entry wrong: %d %v", w, known)
+	}
+	if p, ok := dst.PageAt(1); !ok || p != 5 {
+		t.Fatalf("copied page wrong: %d %v", p, ok)
+	}
+	if src.Stats().EntryTransfers != 1 || dst.Stats().EntryTransfers != 1 {
+		t.Fatal("transfer not counted on both sides")
+	}
+}
+
+// testSystem builds a hierarchy + page system wired like core.NewSystem.
+func testSystem() (*tlb.Hierarchy, *PageSystem) {
+	u := tlb.New("uTLB", 4, tlb.NewPolicy("second-chance", 4, rng.New(1)))
+	m := tlb.New("TLB", 16, tlb.NewPolicy("random", 16, rng.New(2)))
+	h := &tlb.Hierarchy{U: u, Main: m, PT: tlb.NewPageTable()}
+	return h, NewPageSystem(h)
+}
+
+func TestPageSystemFillThenLookup(t *testing.T) {
+	h, ps := testSystem()
+	res := h.Translate(9)
+	pa := mem.MakeAddr(res.PPage, 3*mem.LineSize)
+	// Before the fill: unknown.
+	if _, known := ps.Lookup(pa, res.UIdx); known {
+		t.Fatal("unknown line reported as known")
+	}
+	ps.OnFill(pa.LineAddr(), 0, 2)
+	way, known := ps.Lookup(pa, res.UIdx)
+	if !known || way != 2 {
+		t.Fatalf("after fill: way=%d known=%v", way, known)
+	}
+	// Eviction invalidates.
+	ps.OnEvict(pa.LineAddr(), 0, 2)
+	if _, known := ps.Lookup(pa, res.UIdx); known {
+		t.Fatal("line known after eviction")
+	}
+}
+
+func TestPageSystemExcludedWayFill(t *testing.T) {
+	h, ps := testSystem()
+	res := h.Translate(4)
+	line := uint32(0) // excluded way 0
+	pa := mem.MakeAddr(res.PPage, line*mem.LineSize)
+	ps.OnFill(pa.LineAddr(), 0, 0) // fill into the excluded way
+	if _, known := ps.Lookup(pa, res.UIdx); known {
+		t.Fatal("excluded-way fill must stay unknown")
+	}
+}
+
+func TestPageSystemFeedback(t *testing.T) {
+	h, ps := testSystem()
+	res := h.Translate(11)
+	pa := mem.MakeAddr(res.PPage, 5*mem.LineSize)
+	ps.Feedback(pa, res.UIdx, 2) // way 1 is line 5's excluded way
+	if way, known := ps.Lookup(pa, res.UIdx); !known || way != 2 {
+		t.Fatalf("feedback not learned: way=%d known=%v", way, known)
+	}
+	if ps.FeedbackUpdates() != 1 {
+		t.Fatalf("FeedbackUpdates = %d", ps.FeedbackUpdates())
+	}
+	// Disabled feedback must not learn.
+	h2, ps2 := testSystem()
+	ps2.FeedbackUpdate = false
+	res2 := h2.Translate(11)
+	ps2.Feedback(mem.MakeAddr(res2.PPage, 64), res2.UIdx, 1)
+	if _, known := ps2.Lookup(mem.MakeAddr(res2.PPage, 64), res2.UIdx); known {
+		t.Fatal("disabled feedback still learned")
+	}
+}
+
+func TestPageSystemUWTWritebackOnEviction(t *testing.T) {
+	h, ps := testSystem()
+	res := h.Translate(1)
+	pa := mem.MakeAddr(res.PPage, 7*mem.LineSize)
+	ps.OnFill(pa.LineAddr(), 0, 3) // lands in the uWT (page micro-resident)
+	// Push page 1 out of the 4-entry uTLB.
+	for v := mem.PageID(100); v < 104; v++ {
+		h.Translate(v)
+	}
+	// Page 1 is gone from the uTLB but still in the TLB; its way info
+	// must have been written back to the WT and must survive a refill.
+	res2 := h.Translate(1)
+	if res2.Level != tlb.LevelTLB {
+		t.Fatalf("expected TLB-level hit, got %v", res2.Level)
+	}
+	if way, known := ps.Lookup(pa, res2.UIdx); !known || way != 3 {
+		t.Fatalf("way info lost across uWT eviction: way=%d known=%v", way, known)
+	}
+}
+
+func TestPageSystemTLBEvictionInvalidates(t *testing.T) {
+	h, ps := testSystem()
+	res := h.Translate(1)
+	pa := mem.MakeAddr(res.PPage, 2*mem.LineSize)
+	ps.OnFill(pa.LineAddr(), 0, 3)
+	// Force page 1 out of the 16-entry TLB entirely.
+	for v := mem.PageID(200); v < 264; v++ {
+		h.Translate(v)
+	}
+	// Re-translating allocates a fresh (all-invalid) WT entry.
+	res2 := h.Translate(1)
+	if _, known := ps.Lookup(pa, res2.UIdx); known {
+		t.Fatal("way info must be lost after TLB eviction (paper Sec. V)")
+	}
+}
+
+func TestPageSystemCoverageCounting(t *testing.T) {
+	h, ps := testSystem()
+	res := h.Translate(3)
+	pa := mem.MakeAddr(res.PPage, 0x40)
+	ps.Lookup(pa, res.UIdx)
+	ps.OnFill(pa.LineAddr(), 0, 1)
+	ps.Lookup(pa, res.UIdx)
+	known, total := ps.Coverage()
+	if total != 2 || known != 1 {
+		t.Fatalf("coverage %d/%d, want 1/2", known, total)
+	}
+}
+
+func TestNoneDeterminer(t *testing.T) {
+	var n None
+	if _, known := n.Lookup(0x40, 0); known {
+		t.Fatal("None must never know")
+	}
+	n.Feedback(0x40, 0, 1)
+	if k, tot := n.Coverage(); k != 0 || tot != 0 {
+		t.Fatal("None coverage must be zero")
+	}
+}
+
+func TestWDULearnsAndEvicts(t *testing.T) {
+	w := NewWDU(2, 4)
+	a := mem.Addr(0x1040)
+	b := mem.Addr(0x2040)
+	c := mem.Addr(0x3040)
+	if _, known := w.Lookup(a, -1); known {
+		t.Fatal("cold WDU hit")
+	}
+	w.Feedback(a, -1, 1)
+	w.Feedback(b, -1, 2)
+	if way, known := w.Lookup(a, -1); !known || way != 1 {
+		t.Fatalf("a: way=%d known=%v", way, known)
+	}
+	w.Feedback(c, -1, 3) // evicts LRU (b)
+	if _, known := w.Lookup(b, -1); known {
+		t.Fatal("LRU entry survived")
+	}
+	if w.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", w.Stats().Evictions)
+	}
+}
+
+func TestWDUValidityOnEvict(t *testing.T) {
+	w := NewWDU(4, 4)
+	a := mem.Addr(0x40)
+	w.OnFill(a, 0, 2)
+	if way, known := w.Lookup(a, -1); !known || way != 2 {
+		t.Fatalf("fill not learned: %d %v", way, known)
+	}
+	w.OnEvict(a, 0, 2)
+	if _, known := w.Lookup(a, -1); known {
+		t.Fatal("validity bit not cleared on line eviction")
+	}
+}
+
+func TestWDUCoverageMonotonicInSize(t *testing.T) {
+	// Bigger WDUs must cover at least as much of a cyclic working set.
+	run := func(size int) float64 {
+		w := NewWDU(size, 4)
+		lines := make([]mem.Addr, 12)
+		for i := range lines {
+			lines[i] = mem.Addr(i * mem.LineSize)
+		}
+		for pass := 0; pass < 50; pass++ {
+			for _, l := range lines {
+				if _, known := w.Lookup(l, -1); !known {
+					w.Feedback(l, -1, 1)
+				}
+			}
+		}
+		k, tot := w.Coverage()
+		return float64(k) / float64(tot)
+	}
+	c8, c16 := run(8), run(16)
+	if c16 < c8 {
+		t.Fatalf("coverage not monotonic: 8->%v 16->%v", c8, c16)
+	}
+	if c16 < 0.9 {
+		t.Fatalf("16-entry WDU should cover a 12-line loop: %v", c16)
+	}
+}

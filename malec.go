@@ -1,0 +1,174 @@
+// Package malec is a simulation library reproducing "MALEC: A Multiple
+// Access Low Energy Cache" (Boettcher, Gabrielli, Al-Hashimi, Kershaw —
+// DATE 2013).
+//
+// MALEC is an L1 data cache interface for out-of-order superscalar
+// processors. It exploits the observation that consecutive memory
+// references tend to access the same page: by restricting the interface to
+// one page per cycle it keeps every structure single-ported (uTLB, TLB,
+// cache banks), shares each address translation among all grouped
+// references, merges loads to the same cache line, and uses Page-Based Way
+// Determination — way tables coupled to the TLBs — to bypass tag arrays on
+// the majority of accesses.
+//
+// The package exposes:
+//
+//   - machine configurations matching the paper's Tab. I/II (Base1ldst,
+//     Base2ld1st, MALEC, and their latency/WDU/ablation variants);
+//   - 38 synthetic benchmark workloads standing in for the paper's SPEC
+//     CPU2000 and MediaBench2 SimPoint phases;
+//   - a cycle-level out-of-order core + memory hierarchy simulator;
+//   - an analytical CACTI-substitute energy model;
+//   - experiment drivers regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	base := malec.Run(malec.Base1ldst(), "gzip", 500000, 1)
+//	prop := malec.Run(malec.MALEC(), "gzip", 500000, 1)
+//	speedup := float64(base.Cycles) / float64(prop.Cycles)
+//	saving := 1 - prop.Energy.Total()/base.Energy.Total()
+package malec
+
+import (
+	"malec/internal/config"
+	"malec/internal/cpu"
+	"malec/internal/experiments"
+	"malec/internal/trace"
+)
+
+// Config describes a simulated machine: the L1 interface microarchitecture
+// (Tab. I) plus the core and memory hierarchy parameters (Tab. II).
+type Config = config.Config
+
+// Result carries the performance, activity and energy statistics of one
+// simulation run.
+type Result = cpu.Result
+
+// Record is one dynamic trace instruction.
+type Record = trace.Record
+
+// Profile parameterizes the synthetic workload generator.
+type Profile = trace.Profile
+
+// Options scales the experiment drivers (instructions per benchmark, seed,
+// benchmark subset, parallelism).
+type Options = experiments.Options
+
+// Configuration presets (paper Tab. I and Sec. VI variants).
+var (
+	// Base1ldst is the energy-oriented baseline: one load or store per
+	// cycle, single-ported structures.
+	Base1ldst = config.Base1ldst
+	// Base2ld1st is the performance-oriented baseline: two loads plus one
+	// store per cycle via physical multi-porting on top of banking.
+	Base2ld1st = config.Base2ld1st
+	// Base2ld1st1cycleL1 is Base2ld1st with a 1-cycle L1.
+	Base2ld1st1cycleL1 = config.Base2ld1st1cycleL1
+	// MALEC is the proposed interface as evaluated in the paper.
+	MALEC = config.MALEC
+	// MALEC3cycleL1 is MALEC with a 3-cycle L1.
+	MALEC3cycleL1 = config.MALEC3cycleL1
+	// MALECWithWDU substitutes an n-entry Way Determination Unit for the
+	// way tables (Sec. VI-C comparison).
+	MALECWithWDU = config.MALECWithWDU
+	// MALECNoMerge disables load merging (Sec. VI-B ablation).
+	MALECNoMerge = config.MALECNoMerge
+	// MALECNoFeedback disables the last-entry register update (Sec. V
+	// coverage ablation).
+	MALECNoFeedback = config.MALECNoFeedback
+	// MALECNoWayDet disables way determination entirely.
+	MALECNoWayDet = config.MALECNoWayDet
+	// Fig4Configs returns the five configurations of Fig. 4 in order.
+	Fig4Configs = config.Fig4Configs
+)
+
+// Run simulates the named benchmark workload on cfg for the given number of
+// instructions. The same seed produces the identical workload across
+// configurations, which cross-configuration comparisons rely on.
+func Run(cfg Config, benchmark string, instructions int, seed uint64) Result {
+	return cpu.RunBenchmark(cfg, benchmark, instructions, seed)
+}
+
+// RunTrace simulates an explicit record stream on cfg.
+func RunTrace(cfg Config, name string, records []Record) Result {
+	return cpu.Run(cfg, name, &cpu.SliceSource{Records: records})
+}
+
+// Benchmarks returns the names of all 38 synthetic benchmark workloads in
+// suite order (SPEC-INT, SPEC-FP, MediaBench2).
+func Benchmarks() []string { return trace.AllBenchmarks() }
+
+// BenchmarksOf returns the benchmark names of one suite: "spec-int",
+// "spec-fp" or "mb2".
+func BenchmarksOf(suite string) []string { return trace.Benchmarks[suite] }
+
+// ProfileOf returns the generator profile of a named benchmark and whether
+// it exists.
+func ProfileOf(benchmark string) (Profile, bool) {
+	p, ok := trace.Profiles[benchmark]
+	return p, ok
+}
+
+// Generate produces n trace records for the named benchmark. It panics on
+// unknown names (see Benchmarks).
+func Generate(benchmark string, n int, seed uint64) []Record {
+	p, ok := trace.Profiles[benchmark]
+	if !ok {
+		panic("malec: unknown benchmark " + benchmark)
+	}
+	return trace.NewGenerator(p, seed).Generate(n)
+}
+
+// GenerateProfile produces n trace records for a custom profile.
+func GenerateProfile(p Profile, n int, seed uint64) []Record {
+	return trace.NewGenerator(p, seed).Generate(n)
+}
+
+// Experiment drivers, one per paper table/figure. Each returns a result
+// struct with a Table() string renderer.
+var (
+	// Fig1 reproduces Fig. 1 (page locality of consecutive loads).
+	Fig1 = experiments.Fig1
+	// Motivation reproduces the Sec. III scalars (40% memory references,
+	// 2:1 load/store ratio, 70% page locality, 46% line locality).
+	Motivation = experiments.Motivation
+	// Fig4 reproduces Fig. 4a/4b (normalized execution time and energy of
+	// the five configurations).
+	Fig4 = experiments.Fig4
+	// WDUComparison reproduces the Sec. VI-C WT vs WDU comparison.
+	WDUComparison = experiments.WDUComparison
+	// CoverageAblation reproduces the Sec. V feedback-update ablation
+	// (94% vs 75% coverage).
+	CoverageAblation = experiments.CoverageAblation
+	// MergeContribution reproduces the Sec. VI-B merge analysis (~21% of
+	// MALEC's speedup stems from load merging).
+	MergeContribution = experiments.MergeContribution
+	// WayConstraint checks the Sec. V 3-of-4 way allocation constraint.
+	WayConstraint = experiments.WayConstraint
+	// Table1 renders the paper's Tab. I.
+	Table1 = experiments.Table1
+	// Table2 renders the paper's Tab. II.
+	Table2 = experiments.Table2
+	// LatencySensitivity sweeps the L1 latency 1..4 cycles (Sec. VI-D).
+	LatencySensitivity = experiments.LatencySensitivity
+	// ResultBusSweep varies MALEC's result buses 1..4 (Sec. VI-D).
+	ResultBusSweep = experiments.ResultBusSweep
+	// CompareLimitAblation varies the arbitration comparator budget
+	// (paper: 3 comparators cost <0.5% performance).
+	CompareLimitAblation = experiments.CompareLimitAblation
+	// MergeWindowAblation compares 16/32/64-byte merge granularities
+	// (paper: the two-sub-block read doubles merge probability).
+	MergeWindowAblation = experiments.MergeWindowAblation
+	// SegmentedWT evaluates the Sec. VI-D segmented way-table extension.
+	SegmentedWT = experiments.SegmentedWT
+	// Bypass evaluates run-time cache bypassing for streaming pages
+	// (Sec. VI-D extension).
+	Bypass = experiments.Bypass
+)
+
+// MALECSegmentedWT configures the Sec. VI-D segmented way tables.
+var MALECSegmentedWT = config.MALECSegmentedWT
+
+// MALECBypass enables run-time cache bypassing on top of MALEC.
+var MALECBypass = config.MALECBypass
