@@ -16,20 +16,27 @@ import (
 	"strings"
 	"time"
 
+	"malec/internal/engine"
 	"malec/internal/experiments"
 )
 
 func main() {
 	var (
-		exps  = flag.String("exp", "all", "comma-separated experiments: tab1,tab2,motivation,fig1,fig4,wdu,coverage,merge,wayconstraint,latency,buses,comparelimit,mergewindow,segmented,bypass")
-		n     = flag.Int("n", 300000, "instructions per benchmark")
-		seed  = flag.Uint64("seed", 1, "workload seed")
-		bench = flag.String("bench", "", "comma-separated benchmark subset (default all)")
-		quiet = flag.Bool("quiet", false, "suppress progress notes on stderr")
+		exps     = flag.String("exp", "all", "comma-separated experiments: tab1,tab2,motivation,fig1,fig4,wdu,coverage,merge,wayconstraint,latency,buses,comparelimit,mergewindow,segmented,bypass")
+		n        = flag.Int("n", 300000, "instructions per benchmark")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default all)")
+		cacheDir = flag.String("cache-dir", "", "persist/reuse simulation results in this directory")
+		workers  = flag.Int("workers", 0, "max concurrent simulations (default GOMAXPROCS)")
+		quiet    = flag.Bool("quiet", false, "suppress progress notes on stderr")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Instructions: *n, Seed: *seed}
+	// All experiments share one engine, so simulation points common to
+	// several figures (every driver includes MALEC and the baselines) run
+	// once, and with -cache-dir repeat invocations are disk hits.
+	eng := engine.New(engine.Options{Workers: *workers, CacheDir: *cacheDir})
+	opt := experiments.Options{Instructions: *n, Seed: *seed, Workers: *workers, Engine: eng}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -69,4 +76,10 @@ func main() {
 	run("mergewindow", func() string { return experiments.MergeWindowAblation(opt).Table() })
 	run("segmented", func() string { return experiments.SegmentedWT(opt).Table() })
 	run("bypass", func() string { return experiments.Bypass(opt).Table() })
+
+	if !*quiet {
+		s := eng.Stats()
+		fmt.Fprintf(os.Stderr, "[engine: %d simulations, %d memory hits, %d disk hits, %d deduplicated]\n",
+			s.Simulations, s.Hits, s.DiskHits, s.Dedup)
+	}
 }

@@ -1,0 +1,58 @@
+// Command malecd serves MALEC simulations over HTTP. It fronts a shared
+// campaign engine, so concurrent requests for the same simulation point
+// run it once (singleflight), repeated requests are cache hits, and with
+// -cache-dir results survive restarts.
+//
+// Usage:
+//
+//	malecd -addr :8080 -workers 8 -cache-dir /var/cache/malec
+//
+//	curl localhost:8080/v1/configs
+//	curl -d '{"config":"MALEC","benchmark":"gzip","instructions":500000}' \
+//	    localhost:8080/v1/run
+//	curl -d '{"configs":["Base1ldst","MALEC"],"benchmarks":["gzip","mcf"],"format":"csv"}' \
+//	    localhost:8080/v1/sweep
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"malec/internal/engine"
+	"malec/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "max concurrent simulations (default GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persist results in this directory across restarts")
+		maxInstr = flag.Int("max-instructions", 5_000_000, "per-request instruction limit")
+		maxJobs  = flag.Int("max-sweep-jobs", 4096, "per-sweep expanded job limit")
+		maxCache = flag.Int("max-cache-entries", 1<<14, "in-memory result cache bound (oldest evicted; 0 = unbounded)")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Options{
+		Workers:         *workers,
+		CacheDir:        *cacheDir,
+		MaxCacheEntries: *maxCache,
+	})
+	handler := server.New(eng, server.Options{
+		MaxInstructions: *maxInstr,
+		MaxSweepJobs:    *maxJobs,
+	})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Simulations (and whole sweeps) legitimately take a while, so
+		// no write timeout; only bound header reads against slow-loris
+		// clients.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("malecd listening on %s (cache-dir=%q)", *addr, *cacheDir)
+	log.Fatal(srv.ListenAndServe())
+}

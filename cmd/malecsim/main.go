@@ -18,25 +18,9 @@ import (
 
 	"malec/internal/config"
 	"malec/internal/cpu"
+	"malec/internal/engine"
 	"malec/internal/trace"
 )
-
-// configs maps CLI names to configuration constructors.
-var configs = map[string]func() config.Config{
-	"Base1ldst":           config.Base1ldst,
-	"Base2ld1st":          config.Base2ld1st,
-	"Base2ld1st_1cycleL1": config.Base2ld1st1cycleL1,
-	"MALEC":               config.MALEC,
-	"MALEC_3cycleL1":      config.MALEC3cycleL1,
-	"MALEC_noMerge":       config.MALECNoMerge,
-	"MALEC_noFeedback":    config.MALECNoFeedback,
-	"MALEC_noWT":          config.MALECNoWayDet,
-	"MALEC_WDU8":          func() config.Config { return config.MALECWithWDU(8) },
-	"MALEC_WDU16":         func() config.Config { return config.MALECWithWDU(16) },
-	"MALEC_WDU32":         func() config.Config { return config.MALECWithWDU(32) },
-	"MALEC_bypass":        config.MALECBypass,
-	"MALEC_segWT":         func() config.Config { return config.MALECSegmentedWT(16, 0.5) },
-}
 
 func main() {
 	var (
@@ -45,6 +29,7 @@ func main() {
 		traceFile = flag.String("trace", "", "run a recorded trace instead of a synthetic benchmark")
 		n         = flag.Int("n", 500000, "instructions to simulate")
 		seed      = flag.Uint64("seed", 1, "workload seed")
+		cacheDir  = flag.String("cache-dir", "", "persist/reuse results in this directory (repeat runs become cache hits)")
 		list      = flag.Bool("list", false, "list configurations and benchmarks")
 		counters  = flag.Bool("counters", false, "dump raw event counters")
 	)
@@ -54,13 +39,15 @@ func main() {
 		printLists()
 		return
 	}
-	mk, ok := configs[*cfgName]
+	// Note: -seed selects the workload instance only; cfg.Seed (the
+	// microarchitectural RNG seed) stays at its preset value so that
+	// malecsim, malecbench and malecd produce identical results and
+	// cache keys for identically named simulation points.
+	cfg, ok := config.Named(*cfgName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "malecsim: unknown config %q (try -list)\n", *cfgName)
 		os.Exit(2)
 	}
-	cfg := mk()
-	cfg.Seed = *seed
 
 	var res cpu.Result
 	if *traceFile != "" {
@@ -69,13 +56,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "malecsim: %v\n", err)
 			os.Exit(1)
 		}
+		// Trace runs have no workload generator for -seed to select, so
+		// here it varies the microarchitectural RNG instead. This path
+		// never touches the engine cache, so cfg.Seed can't split keys.
+		cfg.Seed = *seed
+		if *cacheDir != "" {
+			fmt.Fprintln(os.Stderr, "malecsim: -cache-dir has no effect on trace runs (results are not cached)")
+		}
 		res = cpu.Run(cfg, *traceFile, &cpu.SliceSource{Records: recs})
 	} else {
 		if _, ok := trace.Profiles[*bench]; !ok {
 			fmt.Fprintf(os.Stderr, "malecsim: unknown benchmark %q (try -list)\n", *bench)
 			os.Exit(2)
 		}
-		res = cpu.RunBenchmark(cfg, *bench, *n, *seed)
+		eng := engine.New(engine.Options{CacheDir: *cacheDir})
+		var src engine.Source
+		res, src = eng.RunTracked(cfg, *bench, *n, *seed)
+		if src != engine.SourceSimulated {
+			fmt.Fprintf(os.Stderr, "[result served from %s cache]\n", src)
+		}
 	}
 	printResult(res, *counters)
 }
@@ -131,12 +130,7 @@ func missPct(s interface{ MissRate() float64 }) float64 { return 100 * s.MissRat
 // printLists shows available configurations and benchmarks.
 func printLists() {
 	fmt.Println("configurations:")
-	names := make([]string, 0, len(configs))
-	for n := range configs {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range config.Names() {
 		fmt.Println("  " + n)
 	}
 	fmt.Println("benchmarks:")

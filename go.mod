@@ -1,0 +1,3 @@
+module malec
+
+go 1.24

@@ -1,0 +1,42 @@
+package config
+
+import "sort"
+
+// registry maps the canonical CLI/API name of every preset configuration to
+// its constructor. It is the single source of truth shared by malecsim,
+// malecd and the engine, so a configuration named over HTTP resolves to the
+// same machine as one named on the command line.
+var registry = map[string]func() Config{
+	"Base1ldst":           Base1ldst,
+	"Base2ld1st":          Base2ld1st,
+	"Base2ld1st_1cycleL1": Base2ld1st1cycleL1,
+	"MALEC":               MALEC,
+	"MALEC_3cycleL1":      MALEC3cycleL1,
+	"MALEC_noMerge":       MALECNoMerge,
+	"MALEC_noFeedback":    MALECNoFeedback,
+	"MALEC_noWT":          MALECNoWayDet,
+	"MALEC_WDU8":          func() Config { return MALECWithWDU(8) },
+	"MALEC_WDU16":         func() Config { return MALECWithWDU(16) },
+	"MALEC_WDU32":         func() Config { return MALECWithWDU(32) },
+	"MALEC_bypass":        MALECBypass,
+	"MALEC_segWT":         func() Config { return MALECSegmentedWT(16, 0.5) },
+}
+
+// Named returns the preset configuration registered under name.
+func Named(name string) (Config, bool) {
+	mk, ok := registry[name]
+	if !ok {
+		return Config{}, false
+	}
+	return mk(), true
+}
+
+// Names returns the sorted names of all preset configurations.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

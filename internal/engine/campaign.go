@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"malec/internal/config"
+	"malec/internal/cpu"
+	"malec/internal/trace"
+)
+
+// CampaignSpec describes a grid of simulation points: every configuration
+// crossed with every benchmark and every seed at one instruction count.
+type CampaignSpec struct {
+	// Configs to simulate. Required.
+	Configs []config.Config
+	// Benchmarks to simulate (default: all 38).
+	Benchmarks []string
+	// Instructions per simulation (default 300000).
+	Instructions int
+	// Seeds selects the workload instances (default: [1]).
+	Seeds []uint64
+	// Workers bounds this campaign's concurrent job submissions (default:
+	// the engine's worker bound). The engine's own bound still applies to
+	// actual simulations.
+	Workers int
+	// Progress, if set, is called after each job completes with the
+	// number of finished jobs, the total, and the finished job.
+	// Invocations are serialized.
+	Progress func(done, total int, job Job)
+}
+
+// normalize applies spec defaults. It returns an error rather than panic
+// for unknown benchmarks so that service callers can reject bad requests.
+func (s CampaignSpec) normalize(engineWorkers int) (CampaignSpec, error) {
+	if len(s.Configs) == 0 {
+		return s, fmt.Errorf("engine: campaign needs at least one config")
+	}
+	if len(s.Benchmarks) == 0 {
+		s.Benchmarks = trace.AllBenchmarks()
+	}
+	for _, b := range s.Benchmarks {
+		if _, ok := trace.Profiles[b]; !ok {
+			return s, fmt.Errorf("engine: unknown benchmark %q", b)
+		}
+	}
+	if s.Instructions <= 0 {
+		s.Instructions = DefaultInstructions
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []uint64{1}
+	}
+	if s.Workers <= 0 {
+		s.Workers = engineWorkers
+	}
+	return s, nil
+}
+
+// Job is one expanded simulation point of a campaign.
+type Job struct {
+	// Index is the job's position in the campaign's deterministic
+	// config-major, benchmark-middle, seed-minor expansion order.
+	Index        int           `json:"index"`
+	Config       config.Config `json:"-"`
+	ConfigName   string        `json:"config"`
+	Benchmark    string        `json:"benchmark"`
+	Instructions int           `json:"instructions"`
+	Seed         uint64        `json:"seed"`
+	Key          Key           `json:"key"`
+}
+
+// JobResult pairs a job with its simulation result and the source it was
+// served from.
+type JobResult struct {
+	Job
+	Source Source     `json:"source"`
+	Result cpu.Result `json:"result"`
+}
+
+// Campaign holds the results of one campaign run, in expansion order.
+type Campaign struct {
+	Spec    CampaignSpec `json:"-"`
+	Results []JobResult  `json:"results"`
+}
+
+// expand lists a spec's jobs in deterministic order.
+func (s CampaignSpec) expand() []Job {
+	jobs := make([]Job, 0, len(s.Configs)*len(s.Benchmarks)*len(s.Seeds))
+	for _, c := range s.Configs {
+		for _, b := range s.Benchmarks {
+			for _, seed := range s.Seeds {
+				jobs = append(jobs, Job{
+					Index:        len(jobs),
+					Config:       c,
+					ConfigName:   c.Name,
+					Benchmark:    b,
+					Instructions: s.Instructions,
+					Seed:         seed,
+					Key:          KeyFor(c, b, s.Instructions, seed),
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// PanicError reports a simulation that panicked during a campaign. Direct
+// RunTracked callers see simulator panics re-raised; campaign workers
+// instead contain them here so one bad point fails the sweep, not the
+// process hosting it.
+type PanicError struct {
+	Job   Job
+	Value any
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("engine: simulation %s panicked: %v", p.Job.Key, p.Value)
+}
+
+// RunCampaign expands the spec into jobs and runs them through the engine
+// with bounded parallelism. Each worker writes results into its own
+// pre-assigned slice positions, so no lock is held on the result path; the
+// output order is the deterministic expansion order regardless of worker
+// count or completion order. If any simulation panics, the remaining jobs
+// still run and RunCampaign returns a *PanicError for the first failed
+// one with no campaign.
+func (e *Engine) RunCampaign(spec CampaignSpec) (*Campaign, error) {
+	spec, err := spec.normalize(cap(e.sem))
+	if err != nil {
+		return nil, err
+	}
+	jobs := spec.expand()
+	results := make([]JobResult, len(jobs))
+
+	var (
+		wg         sync.WaitGroup
+		progressMu sync.Mutex
+		done       int
+		errMu      sync.Mutex
+		firstErr   error
+	)
+	runOne := func(j Job) (jr JobResult, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Job: j, Value: r}
+			}
+		}()
+		res, src := e.RunTracked(j.Config, j.Benchmark, j.Instructions, j.Seed)
+		return JobResult{Job: j, Source: src, Result: res}, nil
+	}
+	idx := make(chan int)
+	workers := spec.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				jr, err := runOne(jobs[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				results[i] = jr
+				if spec.Progress != nil {
+					progressMu.Lock()
+					done++
+					spec.Progress(done, len(jobs), jobs[i])
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Campaign{Spec: spec, Results: results}, nil
+}
+
+// Result returns the result for (configName, benchmark, seed), if present.
+func (c *Campaign) Result(configName, benchmark string, seed uint64) (cpu.Result, bool) {
+	for i := range c.Results {
+		r := &c.Results[i]
+		if r.ConfigName == configName && r.Benchmark == benchmark && r.Seed == seed {
+			return r.Result, true
+		}
+	}
+	return cpu.Result{}, false
+}
+
+// JSON exports the campaign results as deterministic, indented JSON.
+func (c *Campaign) JSON() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// csvHeader names the CSV export columns.
+var csvHeader = []string{
+	"config", "benchmark", "instructions", "seed", "key",
+	"cycles", "ipc", "loads", "stores",
+	"l1_hits", "l1_misses", "l1_miss_rate",
+	"utlb_miss_rate", "tlb_miss_rate", "wt_coverage",
+	"energy_dynamic_pj", "energy_leakage_pj", "energy_total_pj",
+}
+
+// WriteCSV exports the campaign results as CSV in expansion order. Float
+// columns use shortest-round-trip formatting, so equal results export to
+// byte-identical files.
+func (c *Campaign) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i := range c.Results {
+		r := &c.Results[i]
+		res := &r.Result
+		row := []string{
+			r.ConfigName,
+			r.Benchmark,
+			strconv.Itoa(r.Instructions),
+			strconv.FormatUint(r.Seed, 10),
+			r.Key.String(),
+			strconv.FormatUint(res.Cycles, 10),
+			formatFloat(res.IPC()),
+			strconv.FormatUint(res.Loads, 10),
+			strconv.FormatUint(res.Stores, 10),
+			strconv.FormatUint(res.L1.Hits, 10),
+			strconv.FormatUint(res.L1.Misses, 10),
+			formatFloat(res.L1.MissRate()),
+			formatFloat(res.UTLB.MissRate()),
+			formatFloat(res.TLB.MissRate()),
+			formatFloat(res.Coverage()),
+			formatFloat(res.Energy.TotalDynamic()),
+			formatFloat(res.Energy.TotalLeakage()),
+			formatFloat(res.Energy.Total()),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV exports the campaign results as a CSV byte slice.
+func (c *Campaign) CSV() ([]byte, error) {
+	var b bytes.Buffer
+	if err := c.WriteCSV(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// formatFloat renders a float with the shortest representation that
+// round-trips, 'g' format.
+func formatFloat(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }

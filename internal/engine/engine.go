@@ -1,0 +1,319 @@
+// Package engine is the simulation campaign engine: a reusable layer that
+// owns scheduling, caching and persistence of simulation results, so that
+// experiment drivers, CLIs and the malecd service all share one notion of
+// "run this simulation point".
+//
+// The engine provides:
+//
+//   - a canonical Key per simulation point (config digest + benchmark +
+//     instructions + seed) with a content-addressed in-memory result cache
+//     and optional JSON disk persistence sharded by key prefix;
+//   - a bounded-worker scheduler with in-flight deduplication (singleflight
+//     semantics: concurrent requests for the same key share one simulation);
+//   - a campaign API that expands config x benchmark x seed grids into
+//     jobs, streams progress callbacks, and exports results as JSON or CSV.
+//
+// Because the simulator is fully deterministic in (config, benchmark,
+// instructions, seed), cached results are indistinguishable from fresh
+// ones; repeating any experiment through a shared engine costs only map
+// lookups.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"malec/internal/config"
+	"malec/internal/cpu"
+)
+
+// SimulateFunc computes the result of one simulation point. The default is
+// cpu.RunBenchmark; tests substitute stubs to observe scheduling behavior.
+type SimulateFunc func(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result
+
+// Options configures an Engine. The zero value is usable.
+type Options struct {
+	// Workers bounds the number of simulations executing concurrently
+	// (default: GOMAXPROCS). Requests beyond the bound queue.
+	Workers int
+	// CacheDir enables disk persistence of results under this directory,
+	// as JSON files sharded by config-digest prefix. Results found on
+	// disk are promoted into the in-memory cache. Empty disables disk
+	// persistence.
+	CacheDir string
+	// MaxCacheEntries bounds the in-memory cache; when full, the oldest
+	// entry is evicted (it remains on disk if CacheDir is set). Zero
+	// means unbounded — appropriate for one-shot campaigns; long-lived
+	// processes should set a bound.
+	MaxCacheEntries int
+	// Simulate overrides the simulation function (tests only).
+	Simulate SimulateFunc
+}
+
+// Source reports where a result came from.
+type Source string
+
+// Result sources.
+const (
+	// SourceMemory: served from the in-memory cache.
+	SourceMemory Source = "memory"
+	// SourceDisk: loaded from the disk store.
+	SourceDisk Source = "disk"
+	// SourceInflight: attached to a simulation already in flight for the
+	// same key (singleflight).
+	SourceInflight Source = "inflight"
+	// SourceSimulated: computed by running the simulator.
+	SourceSimulated Source = "simulated"
+)
+
+// Stats is a snapshot of the engine's cache and scheduler counters.
+type Stats struct {
+	// Hits counts requests served from the in-memory cache.
+	Hits uint64 `json:"hits"`
+	// DiskHits counts requests served from the disk store.
+	DiskHits uint64 `json:"diskHits"`
+	// Dedup counts requests that attached to an in-flight simulation.
+	Dedup uint64 `json:"dedup"`
+	// Simulations counts simulations actually executed.
+	Simulations uint64 `json:"simulations"`
+	// Entries is the current in-memory cache size.
+	Entries int `json:"entries"`
+}
+
+// Lookups returns the total number of requests the engine has served.
+func (s Stats) Lookups() uint64 { return s.Hits + s.DiskHits + s.Dedup + s.Simulations }
+
+// call is one in-flight simulation; waiters block on done. If the leader
+// panicked, panicVal holds the panic value for waiters to re-raise.
+type call struct {
+	done     chan struct{}
+	res      cpu.Result
+	panicVal any
+}
+
+// Engine schedules, deduplicates, caches and persists simulations. It is
+// safe for concurrent use.
+type Engine struct {
+	simulate   SimulateFunc
+	cacheDir   string
+	maxEntries int
+	sem        chan struct{} // bounds concurrent simulations
+
+	mu       sync.Mutex
+	cache    map[Key]cpu.Result
+	order    []Key // cache insertion order, for FIFO eviction
+	inflight map[Key]*call
+	stats    Stats
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Simulate == nil {
+		opts.Simulate = cpu.RunBenchmark
+	}
+	return &Engine{
+		simulate:   opts.Simulate,
+		cacheDir:   opts.CacheDir,
+		maxEntries: opts.MaxCacheEntries,
+		sem:        make(chan struct{}, opts.Workers),
+		cache:      make(map[Key]cpu.Result),
+		inflight:   make(map[Key]*call),
+	}
+}
+
+// store inserts a result into the in-memory cache, evicting the oldest
+// entries past the bound. Caller holds e.mu.
+func (e *Engine) store(key Key, res cpu.Result) {
+	if _, ok := e.cache[key]; !ok {
+		e.order = append(e.order, key)
+	}
+	e.cache[key] = res
+	if e.maxEntries <= 0 {
+		return
+	}
+	for len(e.cache) > e.maxEntries {
+		oldest := e.order[0]
+		e.order = e.order[1:]
+		delete(e.cache, oldest)
+	}
+}
+
+// Run returns the result of one simulation point, computing it at most
+// once per key across all concurrent callers.
+func (e *Engine) Run(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result {
+	res, _ := e.RunTracked(cfg, benchmark, instructions, seed)
+	return res
+}
+
+// RunTracked is Run plus the source the result was served from.
+func (e *Engine) RunTracked(cfg config.Config, benchmark string, instructions int, seed uint64) (cpu.Result, Source) {
+	key := KeyFor(cfg, benchmark, instructions, seed)
+
+	e.mu.Lock()
+	if res, ok := e.cache[key]; ok {
+		e.stats.Hits++
+		e.mu.Unlock()
+		return res, SourceMemory
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.stats.Dedup++
+		e.mu.Unlock()
+		<-c.done
+		if c.panicVal != nil {
+			// The leader's simulation panicked; a zero Result would
+			// be silently wrong data, so every waiter fails the same
+			// way the leader did.
+			panic(c.panicVal)
+		}
+		return c.res, SourceInflight
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	// Leader path: this goroutine owns the key until c.done closes. If
+	// the simulator panics (e.g. an unknown benchmark reached the engine
+	// unvalidated), drop the key, hand the panic value to waiters, and
+	// re-raise, so the engine stays usable.
+	defer func() {
+		if r := recover(); r != nil {
+			e.mu.Lock()
+			delete(e.inflight, key)
+			e.mu.Unlock()
+			c.panicVal = r
+			close(c.done)
+			panic(r)
+		}
+	}()
+
+	src := SourceDisk
+	res, ok := e.loadDisk(key)
+	if !ok {
+		res = e.runSimulation(cfg, benchmark, instructions, seed)
+		src = SourceSimulated
+		e.saveDisk(key, res)
+	}
+
+	e.mu.Lock()
+	e.store(key, res)
+	delete(e.inflight, key)
+	if src == SourceDisk {
+		e.stats.DiskHits++
+	} else {
+		e.stats.Simulations++
+	}
+	e.mu.Unlock()
+	c.res = res
+	close(c.done)
+	return res, src
+}
+
+// runSimulation executes the simulator under the worker bound, releasing
+// the slot even if the simulator panics.
+func (e *Engine) runSimulation(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	return e.simulate(cfg, benchmark, instructions, seed)
+}
+
+// Cached returns the cached result for a key, if present in memory.
+func (e *Engine) Cached(key Key) (cpu.Result, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res, ok := e.cache[key]
+	return res, ok
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.Entries = len(e.cache)
+	return s
+}
+
+// DefaultInstructions is the instruction count used when a campaign spec
+// or service request leaves it unset. Shared so the server's limit checks
+// and the campaign's normalization can never disagree on the effective
+// value.
+const DefaultInstructions = 300000
+
+// DiskFormatVersion stamps persisted results with both the cpu.Result
+// schema and the simulator's observable semantics. Bump it whenever either
+// changes (a timing-model fix, an energy-parameter change, a Result field
+// rename): entries written under another version are treated as misses, so
+// a stale cache can never silently stand in for fresh results.
+const DiskFormatVersion = 1
+
+// diskEntry is the on-disk representation of one cached result.
+type diskEntry struct {
+	Version int        `json:"version"`
+	Key     Key        `json:"key"`
+	Result  cpu.Result `json:"result"`
+}
+
+// diskPath returns the sharded path of a key's disk entry. The version
+// directory keeps incompatible generations side by side, so a rollback
+// finds its old entries intact.
+func (e *Engine) diskPath(key Key) string {
+	return filepath.Join(e.cacheDir, fmt.Sprintf("v%d", DiskFormatVersion), key.shard(), key.filename())
+}
+
+// loadDisk fetches a persisted result. Any read or decode failure, key
+// mismatch or version mismatch is a plain miss: the store is a cache,
+// never a source of truth.
+func (e *Engine) loadDisk(key Key) (cpu.Result, bool) {
+	if e.cacheDir == "" {
+		return cpu.Result{}, false
+	}
+	data, err := os.ReadFile(e.diskPath(key))
+	if err != nil {
+		return cpu.Result{}, false
+	}
+	var ent diskEntry
+	if err := json.Unmarshal(data, &ent); err != nil || ent.Version != DiskFormatVersion || ent.Key != key {
+		return cpu.Result{}, false
+	}
+	return ent.Result, true
+}
+
+// saveDisk persists a result, writing to a temp file and renaming so a
+// concurrent reader never observes a partial entry. Persistence is best
+// effort: on any error the entry is simply not stored.
+func (e *Engine) saveDisk(key Key, res cpu.Result) {
+	if e.cacheDir == "" {
+		return
+	}
+	dir := filepath.Dir(e.diskPath(key))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(diskEntry{Version: DiskFormatVersion, Key: key, Result: res})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, key.filename()+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), e.diskPath(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,450 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"malec/internal/config"
+	"malec/internal/cpu"
+)
+
+// stubResult fabricates a distinguishable result for scheduler tests.
+func stubResult(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result {
+	return cpu.Result{
+		Config:       cfg.Name,
+		Benchmark:    benchmark,
+		Instructions: uint64(instructions),
+		Cycles:       uint64(instructions)*2 + seed,
+	}
+}
+
+func TestKeyDistinguishesConfigs(t *testing.T) {
+	a := KeyFor(config.MALEC(), "gzip", 1000, 1)
+	b := KeyFor(config.MALECNoMerge(), "gzip", 1000, 1)
+	if a == b {
+		t.Fatalf("different configs share key %v", a)
+	}
+	if a != KeyFor(config.MALEC(), "gzip", 1000, 1) {
+		t.Fatalf("identical points produced different keys")
+	}
+	// The digest must see every parameter, not just the name.
+	c1 := config.MALEC()
+	c2 := config.MALEC()
+	c2.MSHRs++
+	if KeyFor(c1, "gzip", 1000, 1) == KeyFor(c2, "gzip", 1000, 1) {
+		t.Fatalf("config parameter change did not change the key")
+	}
+}
+
+func TestMemoryCacheHit(t *testing.T) {
+	var calls atomic.Int64
+	e := New(Options{Simulate: func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		return stubResult(cfg, b, n, s)
+	}})
+	cfg := config.MALEC()
+
+	r1, src1 := e.RunTracked(cfg, "gzip", 1000, 1)
+	r2, src2 := e.RunTracked(cfg, "gzip", 1000, 1)
+	if src1 != SourceSimulated || src2 != SourceMemory {
+		t.Fatalf("sources = %v, %v; want simulated, memory", src1, src2)
+	}
+	if r1 != r2 {
+		t.Fatalf("cached result differs from computed result")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("simulate ran %d times, want 1", n)
+	}
+	s := e.Stats()
+	if s.Hits != 1 || s.Simulations != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 simulation, 1 entry", s)
+	}
+}
+
+func TestSingleflightDeduplication(t *testing.T) {
+	const waiters = 16
+	var calls atomic.Int64
+	release := make(chan struct{})
+	e := New(Options{Workers: waiters, Simulate: func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		<-release
+		return stubResult(cfg, b, n, s)
+	}})
+	cfg := config.MALEC()
+
+	var wg sync.WaitGroup
+	results := make([]cpu.Result, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.Run(cfg, "mcf", 5000, 7)
+		}(i)
+	}
+	// Wait until the leader is inside simulate, then let everyone pile up
+	// on the in-flight call before releasing it.
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	for e.Stats().Dedup < waiters-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("simulate ran %d times for one key, want 1", n)
+	}
+	for i := 1; i < waiters; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got a different result", i)
+		}
+	}
+	s := e.Stats()
+	if s.Simulations != 1 || s.Dedup != waiters-1 {
+		t.Fatalf("stats = %+v; want 1 simulation, %d dedup", s, waiters-1)
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	var calls atomic.Int64
+	e := New(Options{MaxCacheEntries: 2, Simulate: func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		return stubResult(cfg, b, n, s)
+	}})
+	cfg := config.MALEC()
+
+	e.Run(cfg, "gzip", 1000, 1) // oldest
+	e.Run(cfg, "mcf", 1000, 1)
+	e.Run(cfg, "art", 1000, 1) // evicts gzip
+	if s := e.Stats(); s.Entries != 2 {
+		t.Fatalf("cache holds %d entries, want 2", s.Entries)
+	}
+	if _, ok := e.Cached(KeyFor(cfg, "gzip", 1000, 1)); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := e.Cached(KeyFor(cfg, "art", 1000, 1)); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	// The evicted point re-simulates; the retained one stays a hit.
+	if _, src := e.RunTracked(cfg, "gzip", 1000, 1); src != SourceSimulated {
+		t.Fatalf("evicted point served as %v", src)
+	}
+	if _, src := e.RunTracked(cfg, "art", 1000, 1); src != SourceMemory {
+		t.Fatalf("retained point served as %v", src)
+	}
+	if n := calls.Load(); n != 4 {
+		t.Fatalf("simulate ran %d times, want 4", n)
+	}
+}
+
+func TestPanicReleasesWaitersAndWorkerSlot(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	e := New(Options{Workers: 1, Simulate: func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		if b == "mcf" {
+			calls.Add(1)
+			started <- struct{}{}
+			<-release
+			panic("simulator exploded")
+		}
+		return stubResult(cfg, b, n, s)
+	}})
+	cfg := config.MALEC()
+
+	mustPanic := func(name string) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s returned instead of panicking", name)
+			}
+		}()
+		e.Run(cfg, "mcf", 1000, 1)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); mustPanic("leader") }()
+	<-started
+	go func() { defer wg.Done(); mustPanic("waiter") }()
+	for e.Stats().Dedup == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	// The Workers=1 slot must have been released despite the panic, the
+	// key must not be poisoned, and no bogus result may be cached.
+	if _, ok := e.Cached(KeyFor(cfg, "mcf", 1000, 1)); ok {
+		t.Fatal("panicked simulation left a cached result")
+	}
+	if res := e.Run(cfg, "gzip", 1000, 1); res.Cycles == 0 {
+		t.Fatalf("engine unusable after panic: %+v", res)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("panicking simulate ran %d times, want 1", n)
+	}
+}
+
+func TestDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	sim := func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		return stubResult(cfg, b, n, s)
+	}
+	cfg := config.Base1ldst()
+
+	e1 := New(Options{CacheDir: dir, Simulate: sim})
+	want := e1.Run(cfg, "gzip", 1000, 1)
+
+	// The entry lands under the format-version directory, sharded by
+	// digest prefix.
+	key := KeyFor(cfg, "gzip", 1000, 1)
+	entryPath := filepath.Join(dir, fmt.Sprintf("v%d", DiskFormatVersion), key.shard(), key.filename())
+	if _, err := os.Stat(entryPath); err != nil {
+		t.Fatalf("disk entry not written: %v", err)
+	}
+
+	// A fresh engine over the same directory serves from disk.
+	e2 := New(Options{CacheDir: dir, Simulate: sim})
+	got, src := e2.RunTracked(cfg, "gzip", 1000, 1)
+	if src != SourceDisk {
+		t.Fatalf("second engine source = %v, want disk", src)
+	}
+	if got.Cycles != want.Cycles || got.Benchmark != want.Benchmark {
+		t.Fatalf("disk round-trip changed the result: got %+v want %+v", got, want)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("simulate ran %d times across engines, want 1", n)
+	}
+
+	// A corrupt entry is a miss, not an error.
+	if err := os.WriteFile(entryPath, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e3 := New(Options{CacheDir: dir, Simulate: sim})
+	if _, src := e3.RunTracked(cfg, "gzip", 1000, 1); src != SourceSimulated {
+		t.Fatalf("corrupt entry served as %v, want re-simulation", src)
+	}
+
+	// An entry from another format version is a miss: stale caches must
+	// never stand in for fresh results after a simulator change.
+	stale, err := json.Marshal(diskEntry{Version: DiskFormatVersion + 1, Key: key, Result: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e4 := New(Options{CacheDir: dir, Simulate: sim})
+	if _, src := e4.RunTracked(cfg, "gzip", 1000, 1); src != SourceSimulated {
+		t.Fatalf("stale-version entry served as %v, want re-simulation", src)
+	}
+}
+
+func TestCampaignContainsSimulatorPanic(t *testing.T) {
+	e := New(Options{Workers: 2, Simulate: func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		if b == "mcf" {
+			panic("bad point")
+		}
+		return stubResult(cfg, b, n, s)
+	}})
+	spec := campaignSpec(2)
+	_, err := e.RunCampaign(spec)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("campaign error = %v, want *PanicError", err)
+	}
+	if pe.Job.Benchmark != "mcf" {
+		t.Fatalf("panic attributed to %q, want mcf", pe.Job.Benchmark)
+	}
+	// The engine and its workers survive: a spec without the bad point
+	// completes normally.
+	good := spec
+	good.Benchmarks = []string{"gzip", "cjpeg"}
+	camp, err := e.RunCampaign(good)
+	if err != nil || len(camp.Results) != 8 {
+		t.Fatalf("engine unusable after contained panic: %v", err)
+	}
+}
+
+// campaignSpec is a small real-simulator campaign: 2 configs x 3
+// benchmarks, small instruction budget.
+func campaignSpec(workers int) CampaignSpec {
+	return CampaignSpec{
+		Configs:      []config.Config{config.Base1ldst(), config.MALEC()},
+		Benchmarks:   []string{"gzip", "mcf", "cjpeg"},
+		Instructions: 20000,
+		Seeds:        []uint64{1, 2},
+		Workers:      workers,
+	}
+}
+
+func TestCampaignDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulations")
+	}
+	e1 := New(Options{Workers: 1})
+	e8 := New(Options{Workers: 8})
+
+	c1, err := e1.RunCampaign(campaignSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := e8.RunCampaign(campaignSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, err := c1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err := c8.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Fatalf("JSON export differs between Workers=1 and Workers=8")
+	}
+
+	v1, err := c1.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v8, err := c8.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1, v8) {
+		t.Fatalf("CSV export differs between Workers=1 and Workers=8")
+	}
+
+	// A repeated run is served entirely from cache: zero new simulations.
+	before := e8.Stats()
+	again, err := e8.RunCampaign(campaignSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := e8.Stats()
+	if after.Simulations != before.Simulations {
+		t.Fatalf("repeat campaign ran %d new simulations, want 0",
+			after.Simulations-before.Simulations)
+	}
+	if after.Hits-before.Hits != uint64(len(again.Results)) {
+		t.Fatalf("repeat campaign: %d cache hits for %d jobs",
+			after.Hits-before.Hits, len(again.Results))
+	}
+	for i := range again.Results {
+		if again.Results[i].Source != SourceMemory {
+			t.Fatalf("repeat job %d served from %v, want memory", i, again.Results[i].Source)
+		}
+	}
+	ja, err := again.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sources differ (memory vs simulated) but results must not.
+	var full, cached Campaign
+	if err := json.Unmarshal(j8, &full); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(ja, &cached); err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Results {
+		if full.Results[i].Result.Cycles != cached.Results[i].Result.Cycles {
+			t.Fatalf("job %d: cached cycles differ from computed", i)
+		}
+	}
+}
+
+func TestCampaignProgressAndOrder(t *testing.T) {
+	var calls atomic.Int64
+	e := New(Options{Workers: 4, Simulate: func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		return stubResult(cfg, b, n, s)
+	}})
+	spec := campaignSpec(4)
+	var mu sync.Mutex
+	var seen []int
+	spec.Progress = func(done, total int, j Job) {
+		mu.Lock()
+		seen = append(seen, done)
+		mu.Unlock()
+		if total != 12 {
+			t.Errorf("total = %d, want 12", total)
+		}
+	}
+	c, err := e.RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 12 {
+		t.Fatalf("progress called %d times, want 12", len(seen))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress done sequence %v not monotonically counted", seen)
+		}
+	}
+	// Results come back in expansion order regardless of completion order.
+	for i, r := range c.Results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+	}
+	if c.Results[0].ConfigName != "Base1ldst" || c.Results[0].Benchmark != "gzip" || c.Results[0].Seed != 1 {
+		t.Fatalf("unexpected first job %+v", c.Results[0].Job)
+	}
+}
+
+func TestCampaignRejectsBadSpec(t *testing.T) {
+	e := New(Options{Simulate: stubResult})
+	if _, err := e.RunCampaign(CampaignSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := e.RunCampaign(CampaignSpec{
+		Configs:    []config.Config{config.MALEC()},
+		Benchmarks: []string{"no-such-benchmark"},
+	}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation")
+	}
+	res := cpu.RunBenchmark(config.MALEC(), "gzip", 20000, 1)
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back cpu.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cycles != res.Cycles || back.Energy.Total() != res.Energy.Total() {
+		t.Fatalf("round trip changed scalars")
+	}
+	if back.Counters.Get("issue.loads") != res.Counters.Get("issue.loads") {
+		t.Fatalf("round trip dropped counters")
+	}
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("re-marshal not byte-identical")
+	}
+}

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"malec/internal/config"
+)
+
+// Key canonically identifies one simulation point. Two runs with equal keys
+// are guaranteed to produce identical Results (the simulator is
+// deterministic in its inputs), which is what makes results content
+// addressable: the cache, the singleflight table and the disk store all
+// index by Key.
+type Key struct {
+	// ConfigDigest is a hex digest of the full configuration struct, so
+	// two presets that happen to share a Name but differ in any parameter
+	// never collide.
+	ConfigDigest string `json:"configDigest"`
+	Benchmark    string `json:"benchmark"`
+	Instructions int    `json:"instructions"`
+	Seed         uint64 `json:"seed"`
+}
+
+// KeyFor derives the canonical Key of a simulation point.
+func KeyFor(cfg config.Config, benchmark string, instructions int, seed uint64) Key {
+	return Key{
+		ConfigDigest: ConfigDigest(cfg),
+		Benchmark:    benchmark,
+		Instructions: instructions,
+		Seed:         seed,
+	}
+}
+
+// ConfigDigest returns the content digest of a configuration: SHA-256 over
+// its canonical JSON encoding, truncated to 16 hex characters. Every field
+// of config.Config is exported, so the JSON encoding covers the complete
+// machine description in fixed struct order.
+func ConfigDigest(cfg config.Config) string {
+	enc, err := json.Marshal(cfg)
+	if err != nil {
+		// config.Config contains only plain scalar fields; Marshal
+		// cannot fail on it.
+		panic("engine: config not serializable: " + err.Error())
+	}
+	sum := sha256.Sum256(enc)
+	return hex.EncodeToString(sum[:8])
+}
+
+// String renders the key in digest:benchmark:instructions:seed form.
+func (k Key) String() string {
+	return fmt.Sprintf("%s:%s:%d:%d", k.ConfigDigest, k.Benchmark, k.Instructions, k.Seed)
+}
+
+// shard returns the disk-store shard directory for the key, the first two
+// digest characters, spreading entries over up to 256 directories.
+func (k Key) shard() string {
+	if len(k.ConfigDigest) < 2 {
+		return "00"
+	}
+	return k.ConfigDigest[:2]
+}
+
+// filename returns the disk-store file name for the key.
+func (k Key) filename() string {
+	return fmt.Sprintf("%s_%s_%d_%d.json", k.ConfigDigest, k.Benchmark, k.Instructions, k.Seed)
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"malec/internal/engine"
+)
+
+// TestFig4SecondRunFullyCached asserts the tentpole property: repeating a
+// figure driver through the engine performs zero new simulations and
+// reproduces the same numbers.
+func TestFig4SecondRunFullyCached(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	opt := Options{
+		Instructions: 20000,
+		Benchmarks:   []string{"gzip", "mcf"},
+		Engine:       eng,
+	}
+
+	first := Fig4(opt)
+	afterFirst := eng.Stats()
+	if afterFirst.Simulations == 0 {
+		t.Fatalf("first run performed no simulations: %+v", afterFirst)
+	}
+
+	second := Fig4(opt)
+	afterSecond := eng.Stats()
+	if got := afterSecond.Simulations - afterFirst.Simulations; got != 0 {
+		t.Fatalf("second Fig4 run performed %d new simulations, want 0", got)
+	}
+	if afterSecond.Hits <= afterFirst.Hits {
+		t.Fatalf("second run recorded no cache hits: %+v -> %+v", afterFirst, afterSecond)
+	}
+	for _, cfg := range first.Grid.Configs {
+		for _, b := range first.Grid.Benchmarks {
+			if first.Time[cfg][b] != second.Time[cfg][b] {
+				t.Fatalf("cached %s/%s time differs from computed", cfg, b)
+			}
+			if first.Total[cfg][b] != second.Total[cfg][b] {
+				t.Fatalf("cached %s/%s energy differs from computed", cfg, b)
+			}
+		}
+	}
+}
+
+// TestDriversShareSimulationPoints asserts cross-driver reuse on one
+// engine: CoverageAblation shares MALEC points already simulated by Fig4.
+func TestDriversShareSimulationPoints(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	opt := Options{
+		Instructions: 20000,
+		Benchmarks:   []string{"gzip"},
+		Engine:       eng,
+	}
+	Fig4(opt)
+	mid := eng.Stats()
+	CoverageAblation(opt)
+	after := eng.Stats()
+	if after.Hits == mid.Hits {
+		t.Fatalf("CoverageAblation reused no Fig4 points: %+v -> %+v", mid, after)
+	}
+}

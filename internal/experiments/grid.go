@@ -15,6 +15,7 @@ import (
 
 	"malec/internal/config"
 	"malec/internal/cpu"
+	"malec/internal/engine"
 	"malec/internal/stats"
 	"malec/internal/trace"
 )
@@ -29,14 +30,42 @@ type Options struct {
 	Seed uint64
 	// Benchmarks restricts the run (default: all 38).
 	Benchmarks []string
-	// Workers bounds parallel simulations (default: GOMAXPROCS).
+	// Workers bounds parallel simulations (default: GOMAXPROCS). When
+	// Engine is set, the engine's own worker bound applies on top.
 	Workers int
+	// Engine, if set, runs the experiment's simulations through the
+	// given campaign engine instead of the process-wide shared one.
+	// Drivers sharing an engine share its result cache: configurations
+	// and benchmarks common to several figures simulate once, and
+	// re-running a driver costs only cache lookups.
+	Engine *engine.Engine
+}
+
+// sharedEngine is the process-wide default engine backing all experiment
+// drivers that don't bring their own.
+var (
+	sharedEngine     *engine.Engine
+	sharedEngineOnce sync.Once
+)
+
+// defaultEngine returns the lazily created process-wide engine. Its own
+// worker bound is set effectively unlimited so that Options.Workers alone
+// governs parallelism, exactly as runGrid's private pool did before the
+// engine existed (a zero-size-element channel costs no buffer memory).
+// The cache is bounded so a long-lived process sweeping many distinct
+// points doesn't grow without limit; 1<<14 entries covers ~30 full-suite
+// figure drivers before anything is evicted.
+func defaultEngine() *engine.Engine {
+	sharedEngineOnce.Do(func() {
+		sharedEngine = engine.New(engine.Options{Workers: 1 << 20, MaxCacheEntries: 1 << 14})
+	})
+	return sharedEngine
 }
 
 // normalize applies defaults.
 func (o Options) normalize() Options {
 	if o.Instructions <= 0 {
-		o.Instructions = 300000
+		o.Instructions = engine.DefaultInstructions
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -59,42 +88,39 @@ type Grid struct {
 	Results map[string]map[string]cpu.Result
 }
 
-// runGrid simulates every (config, benchmark) pair in parallel.
+// runGrid simulates every (config, benchmark) pair through the campaign
+// engine: jobs run in parallel under the engine's scheduler, identical
+// points across drivers are simulated once, and result collection is
+// lock-free (each campaign job writes its own slot).
 func runGrid(cfgs []config.Config, opt Options) *Grid {
 	opt = opt.normalize()
+	eng := opt.Engine
+	if eng == nil {
+		eng = defaultEngine()
+	}
+	camp, err := eng.RunCampaign(engine.CampaignSpec{
+		Configs:      cfgs,
+		Benchmarks:   opt.Benchmarks,
+		Instructions: opt.Instructions,
+		Seeds:        []uint64{opt.Seed},
+		Workers:      opt.Workers,
+	})
+	if err != nil {
+		// Experiment drivers, like cpu.RunBenchmark, treat invalid
+		// inputs as programmer error.
+		panic("experiments: " + err.Error())
+	}
+
 	g := &Grid{Results: make(map[string]map[string]cpu.Result)}
 	for _, c := range cfgs {
 		g.Configs = append(g.Configs, c.Name)
 		g.Results[c.Name] = make(map[string]cpu.Result)
 	}
 	g.Benchmarks = append(g.Benchmarks, opt.Benchmarks...)
-
-	type job struct {
-		cfg   config.Config
-		bench string
+	for i := range camp.Results {
+		r := &camp.Results[i]
+		g.Results[r.ConfigName][r.Benchmark] = r.Result
 	}
-	jobs := make(chan job)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				res := cpu.RunBenchmark(j.cfg, j.bench, opt.Instructions, opt.Seed)
-				mu.Lock()
-				g.Results[j.cfg.Name][j.bench] = res
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, c := range cfgs {
-		for _, b := range opt.Benchmarks {
-			jobs <- job{cfg: c, bench: b}
-		}
-	}
-	close(jobs)
-	wg.Wait()
 	return g
 }
 

@@ -1,0 +1,272 @@
+// Package server implements the malecd HTTP API: a thin JSON layer over
+// the campaign engine. Every request runs against one shared engine, so
+// concurrent clients asking for the same simulation point share a single
+// simulation (singleflight) and repeated requests are cache hits.
+//
+// Endpoints:
+//
+//	GET  /healthz        liveness probe
+//	GET  /v1/configs     preset configuration names
+//	GET  /v1/benchmarks  benchmark workloads with their suites
+//	GET  /v1/stats       engine cache/scheduler counters
+//	POST /v1/run         one simulation point
+//	POST /v1/sweep       a config x benchmark x seed campaign (JSON or CSV)
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"malec/internal/config"
+	"malec/internal/engine"
+	"malec/internal/trace"
+)
+
+// Options bounds what the service accepts. The zero value is usable.
+type Options struct {
+	// MaxInstructions caps the instruction count of a single simulation
+	// point (default 5e6). Simulation time is linear in instructions;
+	// the cap keeps one request from monopolizing workers.
+	MaxInstructions int
+	// MaxSweepJobs caps the number of jobs one sweep may expand to
+	// (default 4096).
+	MaxSweepJobs int
+}
+
+// normalize applies option defaults.
+func (o Options) normalize() Options {
+	if o.MaxInstructions <= 0 {
+		o.MaxInstructions = 5_000_000
+	}
+	if o.MaxSweepJobs <= 0 {
+		o.MaxSweepJobs = 4096
+	}
+	return o
+}
+
+// Server is the malecd HTTP handler.
+type Server struct {
+	eng  *engine.Engine
+	opts Options
+	mux  *http.ServeMux
+}
+
+// New returns a handler serving the malecd API on eng.
+func New(eng *engine.Engine, opts Options) *Server {
+	s := &Server{eng: eng, opts: opts.normalize(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/configs", s.handleConfigs)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers sent; nothing left to report
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// readBody decodes a JSON request body into v, rejecting unknown fields so
+// client typos fail loudly instead of silently running defaults.
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleConfigs implements GET /v1/configs.
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"configs": config.Names()})
+}
+
+// benchmarkInfo is one /v1/benchmarks entry.
+type benchmarkInfo struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+}
+
+// handleBenchmarks implements GET /v1/benchmarks.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	var list []benchmarkInfo
+	for _, name := range trace.AllBenchmarks() {
+		list = append(list, benchmarkInfo{Name: name, Suite: trace.Profiles[name].Suite})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": list})
+}
+
+// handleStats implements GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+// runRequest is the POST /v1/run body. Seed is a pointer so an explicit 0
+// is distinguishable from an omitted field: seed 0 is a valid workload
+// instance, and /v1/sweep runs it as given.
+type runRequest struct {
+	Config       string  `json:"config"`
+	Benchmark    string  `json:"benchmark"`
+	Instructions int     `json:"instructions"`
+	Seed         *uint64 `json:"seed"`
+}
+
+// runResponse is the POST /v1/run reply.
+type runResponse struct {
+	Key    engine.Key    `json:"key"`
+	Source engine.Source `json:"source"`
+	Cached bool          `json:"cached"`
+	Result any           `json:"result"`
+}
+
+// resolveRun validates a runRequest against the registry and limits and
+// returns the resolved config and seed.
+func (s *Server) resolveRun(req *runRequest) (config.Config, uint64, error) {
+	cfg, ok := config.Named(req.Config)
+	if !ok {
+		return config.Config{}, 0, fmt.Errorf("unknown config %q (see /v1/configs)", req.Config)
+	}
+	if _, ok := trace.Profiles[req.Benchmark]; !ok {
+		return config.Config{}, 0, fmt.Errorf("unknown benchmark %q (see /v1/benchmarks)", req.Benchmark)
+	}
+	if req.Instructions <= 0 {
+		req.Instructions = engine.DefaultInstructions
+	}
+	if req.Instructions > s.opts.MaxInstructions {
+		return config.Config{}, 0, fmt.Errorf("instructions %d exceeds limit %d", req.Instructions, s.opts.MaxInstructions)
+	}
+	seed := uint64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	return cfg, seed, nil
+}
+
+// handleRun implements POST /v1/run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	cfg, seed, err := s.resolveRun(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	bench := req.Benchmark
+	res, src := s.eng.RunTracked(cfg, bench, req.Instructions, seed)
+	writeJSON(w, http.StatusOK, runResponse{
+		Key:    engine.KeyFor(cfg, bench, req.Instructions, seed),
+		Source: src,
+		Cached: src != engine.SourceSimulated,
+		Result: res,
+	})
+}
+
+// sweepRequest is the POST /v1/sweep body.
+type sweepRequest struct {
+	Configs      []string `json:"configs"`
+	Benchmarks   []string `json:"benchmarks"`
+	Instructions int      `json:"instructions"`
+	Seeds        []uint64 `json:"seeds"`
+	// Format selects the response encoding: "json" (default) or "csv".
+	Format string `json:"format"`
+}
+
+// handleSweep implements POST /v1/sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, "configs is required (see /v1/configs)")
+		return
+	}
+	cfgs := make([]config.Config, 0, len(req.Configs))
+	for _, name := range req.Configs {
+		cfg, ok := config.Named(name)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown config %q (see /v1/configs)", name)
+			return
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	// Unknown benchmarks are rejected by CampaignSpec.normalize below —
+	// no duplicate validation here, so the two can't drift.
+	if req.Instructions <= 0 {
+		// Mirror CampaignSpec.normalize so the limit check below sees
+		// the effective value.
+		req.Instructions = engine.DefaultInstructions
+	}
+	if req.Instructions > s.opts.MaxInstructions {
+		writeError(w, http.StatusBadRequest, "instructions %d exceeds limit %d", req.Instructions, s.opts.MaxInstructions)
+		return
+	}
+	benchmarks := len(req.Benchmarks)
+	if benchmarks == 0 {
+		benchmarks = len(trace.AllBenchmarks())
+	}
+	seeds := len(req.Seeds)
+	if seeds == 0 {
+		seeds = 1
+	}
+	if jobs := len(cfgs) * benchmarks * seeds; jobs > s.opts.MaxSweepJobs {
+		writeError(w, http.StatusBadRequest, "sweep expands to %d jobs, limit %d", jobs, s.opts.MaxSweepJobs)
+		return
+	}
+	if req.Format != "" && req.Format != "json" && req.Format != "csv" {
+		writeError(w, http.StatusBadRequest, "unknown format %q (json or csv)", req.Format)
+		return
+	}
+
+	camp, err := s.eng.RunCampaign(engine.CampaignSpec{
+		Configs:      cfgs,
+		Benchmarks:   req.Benchmarks,
+		Instructions: req.Instructions,
+		Seeds:        req.Seeds,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		var pe *engine.PanicError
+		if errors.As(err, &pe) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	if req.Format == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		w.WriteHeader(http.StatusOK)
+		camp.WriteCSV(w) //nolint:errcheck // headers sent; nothing left to report
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":    len(camp.Results),
+		"results": camp.Results,
+	})
+}

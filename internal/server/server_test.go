@@ -1,0 +1,347 @@
+package server
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"malec/internal/config"
+	"malec/internal/cpu"
+	"malec/internal/engine"
+	"malec/internal/trace"
+)
+
+// newTestServer wires a server over an engine with the given simulate stub
+// (nil: the real simulator).
+func newTestServer(t *testing.T, sim engine.SimulateFunc, opts Options) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(engine.Options{Workers: 8, Simulate: sim})
+	ts := httptest.NewServer(New(eng, opts))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+// get fetches a URL and decodes the JSON response into v.
+func get(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// post sends a JSON body and returns the response with its raw payload.
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHealthzAndListings(t *testing.T) {
+	ts, _ := newTestServer(t, nil, Options{})
+
+	var health map[string]string
+	if resp := get(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	var cfgs struct {
+		Configs []string `json:"configs"`
+	}
+	get(t, ts.URL+"/v1/configs", &cfgs)
+	if len(cfgs.Configs) != len(config.Names()) {
+		t.Fatalf("/v1/configs returned %d names, want %d", len(cfgs.Configs), len(config.Names()))
+	}
+
+	var benches struct {
+		Benchmarks []struct {
+			Name  string `json:"name"`
+			Suite string `json:"suite"`
+		} `json:"benchmarks"`
+	}
+	get(t, ts.URL+"/v1/benchmarks", &benches)
+	if len(benches.Benchmarks) != len(trace.AllBenchmarks()) {
+		t.Fatalf("/v1/benchmarks returned %d entries, want %d",
+			len(benches.Benchmarks), len(trace.AllBenchmarks()))
+	}
+	if benches.Benchmarks[0].Suite == "" {
+		t.Fatalf("benchmark entries missing suite: %+v", benches.Benchmarks[0])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ts, _ := newTestServer(t, nil, Options{MaxInstructions: 1000})
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown config", `{"config":"NoSuch","benchmark":"gzip"}`},
+		{"unknown benchmark", `{"config":"MALEC","benchmark":"nope"}`},
+		{"over instruction limit", `{"config":"MALEC","benchmark":"gzip","instructions":2000}`},
+		{"unknown field", `{"config":"MALEC","benchmark":"gzip","instrs":10}`},
+		{"malformed", `{"config":`},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+"/v1/run", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, resp.StatusCode, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: no error envelope in %s", c.name, body)
+		}
+	}
+	if resp, _ := post(t, ts.URL+"/healthz", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestConcurrentDuplicateRunsSimulateOnce(t *testing.T) {
+	const clients = 8
+	var calls atomic.Int64
+	release := make(chan struct{})
+	sim := func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		<-release
+		return cpu.Result{Config: cfg.Name, Benchmark: b, Cycles: 12345}
+	}
+	ts, eng := newTestServer(t, sim, Options{})
+
+	body := `{"config":"MALEC","benchmark":"gzip","instructions":1000,"seed":3}`
+	var wg sync.WaitGroup
+	responses := make([]runResponse, clients)
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, raw := post(t, ts.URL+"/v1/run", body)
+			codes[i] = resp.StatusCode
+			json.Unmarshal(raw, &responses[i]) //nolint:errcheck // checked via Cycles below
+		}(i)
+	}
+	// Let every request attach to the single in-flight simulation before
+	// releasing it: 1 leader simulating, clients-1 deduplicated.
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	for eng.Stats().Dedup < clients-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("simulate ran %d times for %d identical requests, want 1", n, clients)
+	}
+	var cached int
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		var res cpu.Result
+		data, _ := json.Marshal(responses[i].Result)
+		json.Unmarshal(data, &res) //nolint:errcheck // zero Cycles fails below
+		if res.Cycles != 12345 {
+			t.Fatalf("request %d: wrong result %v", i, responses[i].Result)
+		}
+		if responses[i].Cached {
+			cached++
+		}
+	}
+	if cached != clients-1 {
+		t.Fatalf("%d responses marked cached, want %d", cached, clients-1)
+	}
+
+	// A later identical request is a memory hit.
+	_, raw := post(t, ts.URL+"/v1/run", body)
+	var again runResponse
+	if err := json.Unmarshal(raw, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Source != engine.SourceMemory || !again.Cached {
+		t.Fatalf("repeat request source = %q cached=%v, want memory/true", again.Source, again.Cached)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("repeat request re-simulated (%d calls)", n)
+	}
+}
+
+func TestDistinctPointsRunConcurrently(t *testing.T) {
+	var calls atomic.Int64
+	sim := func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		return cpu.Result{Config: cfg.Name, Benchmark: b, Cycles: s}
+	}
+	ts, _ := newTestServer(t, sim, Options{})
+
+	const clients = 6
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"config":"MALEC","benchmark":"gzip","instructions":1000,"seed":%d}`, i+1)
+			resp, raw := post(t, ts.URL+"/v1/run", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("seed %d: status %d", i+1, resp.StatusCode)
+				return
+			}
+			var rr runResponse
+			if err := json.Unmarshal(raw, &rr); err != nil {
+				t.Errorf("seed %d: %v", i+1, err)
+				return
+			}
+			if rr.Key.Seed != uint64(i+1) {
+				t.Errorf("seed %d: response key %v", i+1, rr.Key)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != clients {
+		t.Fatalf("simulate ran %d times for %d distinct points", n, clients)
+	}
+}
+
+func TestSweepJSONAndCSV(t *testing.T) {
+	sim := func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		return cpu.Result{Config: cfg.Name, Benchmark: b, Cycles: 100 + s, Instructions: uint64(n)}
+	}
+	ts, _ := newTestServer(t, sim, Options{})
+	body := `{"configs":["Base1ldst","MALEC"],"benchmarks":["gzip","mcf"],"instructions":1000,"seeds":[1,2]}`
+
+	resp, raw := post(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Jobs    int                `json:"jobs"`
+		Results []engine.JobResult `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Jobs != 8 || len(out.Results) != 8 {
+		t.Fatalf("sweep returned %d jobs / %d results, want 8", out.Jobs, len(out.Results))
+	}
+	if out.Results[0].ConfigName != "Base1ldst" || out.Results[0].Benchmark != "gzip" || out.Results[0].Seed != 1 {
+		t.Fatalf("unexpected first result %+v", out.Results[0].Job)
+	}
+
+	csvBody := `{"configs":["Base1ldst","MALEC"],"benchmarks":["gzip","mcf"],"instructions":1000,"seeds":[1,2],"format":"csv"}`
+	resp, raw = post(t, ts.URL+"/v1/sweep", csvBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv sweep status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("csv content type %q", ct)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(raw)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 { // header + 8 jobs
+		t.Fatalf("csv has %d rows, want 9", len(rows))
+	}
+	if rows[0][0] != "config" || rows[1][0] != "Base1ldst" {
+		t.Fatalf("unexpected csv rows %v / %v", rows[0], rows[1])
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	ts, _ := newTestServer(t, nil, Options{MaxSweepJobs: 4})
+	cases := []struct {
+		name, body string
+	}{
+		{"no configs", `{"benchmarks":["gzip"]}`},
+		{"unknown config", `{"configs":["NoSuch"]}`},
+		{"unknown benchmark", `{"configs":["MALEC"],"benchmarks":["nope"]}`},
+		{"too many jobs", `{"configs":["MALEC"],"benchmarks":["gzip","mcf","art","ammp","gcc"]}`},
+		{"bad format", `{"configs":["MALEC"],"benchmarks":["gzip"],"format":"xml"}`},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+"/v1/sweep", c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestSweepDefaultInstructionsRespectsLimit guards against the default
+// instruction count (300000) sneaking past a lower operator limit when the
+// request omits the field.
+func TestSweepDefaultInstructionsRespectsLimit(t *testing.T) {
+	ts, _ := newTestServer(t, nil, Options{MaxInstructions: 100000})
+	resp, body := post(t, ts.URL+"/v1/sweep", `{"configs":["MALEC"],"benchmarks":["gzip"]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sweep with omitted instructions under a 100k limit: status %d (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "300000 exceeds limit 100000") {
+		t.Fatalf("error does not name the effective default: %s", body)
+	}
+}
+
+// TestRealSimulationThroughService exercises the full stack once: HTTP ->
+// engine -> cycle simulator, then asserts the repeat is served from cache.
+func TestRealSimulationThroughService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation")
+	}
+	ts, eng := newTestServer(t, nil, Options{})
+	body := `{"config":"MALEC","benchmark":"gzip","instructions":20000}`
+
+	_, raw := post(t, ts.URL+"/v1/run", body)
+	var first runResponse
+	if err := json.Unmarshal(raw, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.Source != engine.SourceSimulated {
+		t.Fatalf("first run source = %q cached=%v", first.Source, first.Cached)
+	}
+	data, _ := json.Marshal(first.Result)
+	var res cpu.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Instructions == 0 {
+		t.Fatalf("implausible simulation result: %+v", res)
+	}
+
+	_, raw = post(t, ts.URL+"/v1/run", body)
+	var second runResponse
+	if err := json.Unmarshal(raw, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatalf("repeat run not cached: %+v", second.Source)
+	}
+	s := eng.Stats()
+	if s.Simulations != 1 || s.Hits != 1 {
+		t.Fatalf("engine stats %+v, want 1 simulation + 1 hit", s)
+	}
+}

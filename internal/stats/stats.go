@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -42,6 +43,23 @@ func (c *Counters) Merge(other *Counters) {
 	for k, v := range other.m {
 		c.m[k] += v
 	}
+}
+
+// MarshalJSON encodes the counters as a plain name->value object. Keys are
+// emitted in sorted order so identical counter sets serialize to identical
+// bytes, which result caching and determinism tests rely on.
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.m)
+}
+
+// UnmarshalJSON decodes a name->value object produced by MarshalJSON.
+func (c *Counters) UnmarshalJSON(data []byte) error {
+	m := make(map[string]uint64)
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	c.m = m
+	return nil
 }
 
 // String renders the counters one per line, sorted by name.

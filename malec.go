@@ -20,7 +20,13 @@
 //   - a cycle-level out-of-order core + memory hierarchy simulator;
 //   - an analytical CACTI-substitute energy model;
 //   - experiment drivers regenerating every table and figure of the
-//     paper's evaluation.
+//     paper's evaluation;
+//   - a campaign engine (NewEngine) with a content-addressed result
+//     cache, singleflight deduplication of concurrent identical runs,
+//     bounded-worker scheduling, optional disk persistence, and
+//     config x benchmark x seed sweep campaigns with JSON/CSV export —
+//     the layer the experiment drivers and the malecd HTTP service
+//     (cmd/malecd) run on.
 //
 // Quick start:
 //
@@ -28,11 +34,22 @@
 //	prop := malec.Run(malec.MALEC(), "gzip", 500000, 1)
 //	speedup := float64(base.Cycles) / float64(prop.Cycles)
 //	saving := 1 - prop.Energy.Total()/base.Energy.Total()
+//
+// Cached, deduplicated, parallel simulation through the engine:
+//
+//	eng := malec.NewEngine(malec.EngineOptions{Workers: 8})
+//	camp, err := eng.RunCampaign(malec.CampaignSpec{
+//		Configs:    malec.Fig4Configs(),
+//		Benchmarks: []string{"gzip", "mcf"},
+//		Seeds:      []uint64{1, 2, 3},
+//	})
+//	csv, _ := camp.CSV() // deterministic across worker counts
 package malec
 
 import (
 	"malec/internal/config"
 	"malec/internal/cpu"
+	"malec/internal/engine"
 	"malec/internal/experiments"
 	"malec/internal/trace"
 )
@@ -82,6 +99,58 @@ var (
 	// Fig4Configs returns the five configurations of Fig. 4 in order.
 	Fig4Configs = config.Fig4Configs
 )
+
+// Engine is the simulation campaign engine: a content-addressed result
+// cache plus a bounded-worker, deduplicating scheduler. See NewEngine.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine (workers, disk cache directory).
+type EngineOptions = engine.Options
+
+// EngineStats snapshots an engine's cache and scheduler counters.
+type EngineStats = engine.Stats
+
+// Key canonically identifies one simulation point (config digest,
+// benchmark, instructions, seed).
+type Key = engine.Key
+
+// CampaignSpec describes a config x benchmark x seed simulation grid.
+type CampaignSpec = engine.CampaignSpec
+
+// Campaign holds campaign results in deterministic expansion order, with
+// JSON and CSV exporters.
+type Campaign = engine.Campaign
+
+// Job is one expanded simulation point of a campaign, as passed to
+// CampaignSpec.Progress callbacks.
+type Job = engine.Job
+
+// JobResult pairs a campaign job with its result and the source it was
+// served from.
+type JobResult = engine.JobResult
+
+// Source reports where the engine served a result from: "memory", "disk",
+// "inflight" or "simulated".
+type Source = engine.Source
+
+// NewEngine returns a campaign engine. Every simulation requested through
+// it — directly, via RunCampaign, or by experiment drivers handed the
+// engine in Options — is computed at most once per Key and served from
+// cache afterwards.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// KeyFor derives the canonical cache key of a simulation point.
+func KeyFor(cfg Config, benchmark string, instructions int, seed uint64) Key {
+	return engine.KeyFor(cfg, benchmark, instructions, seed)
+}
+
+// NamedConfig resolves a preset configuration by its canonical name (the
+// names malecsim and malecd accept, e.g. "MALEC", "Base2ld1st_1cycleL1").
+func NamedConfig(name string) (Config, bool) { return config.Named(name) }
+
+// ConfigNames returns the sorted canonical names of all preset
+// configurations.
+func ConfigNames() []string { return config.Names() }
 
 // Run simulates the named benchmark workload on cfg for the given number of
 // instructions. The same seed produces the identical workload across
