@@ -2,22 +2,49 @@
 // (see EXPERIMENTS.md for the measured-vs-paper comparison at full scale).
 // Each benchmark runs its experiment at a reduced instruction budget so the
 // suite completes quickly; the cmd/malecbench tool runs them at full scale.
+//
+// The figure benchmarks hand every iteration a fresh engine: the experiment
+// drivers otherwise share a process-wide result cache, and iterations after
+// the first would measure cache lookups instead of simulation. All
+// benchmarks report allocations; the per-interface Sim benchmarks and
+// BenchmarkFig4a additionally report committed instructions per second
+// (instr/s), the number tracked in BENCH_core.json.
 package malec
 
 import (
 	"testing"
 )
 
-// benchOpt is the reduced-scale option set used by the benchmarks.
+// benchOpt is the reduced-scale option set used by the benchmarks. The
+// fresh per-call engine isolates iterations from the shared result cache.
 func benchOpt(benchmarks ...string) Options {
-	return Options{Instructions: 30000, Seed: 1, Benchmarks: benchmarks}
+	return Options{
+		Instructions: benchInstructions,
+		Seed:         1,
+		Benchmarks:   benchmarks,
+		Engine:       NewEngine(EngineOptions{}),
+	}
 }
+
+const benchInstructions = 30000
 
 // fig4Subset is a representative cross-suite subset.
 var fig4Subset = []string{"gzip", "mcf", "gap", "swim", "djpeg", "h263enc"}
 
+// reportInstrPerSec attaches the committed-instructions-per-second custom
+// metric, given the number of instructions simulated per benchmark
+// iteration.
+func reportInstrPerSec(b *testing.B, perOp uint64) {
+	if b.Elapsed() <= 0 {
+		return
+	}
+	total := float64(perOp) * float64(b.N)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "instr/s")
+}
+
 // BenchmarkFig1 regenerates Fig. 1 (consecutive same-page loads).
 func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Fig1(benchOpt(fig4Subset...))
 	}
@@ -25,22 +52,28 @@ func BenchmarkFig1(b *testing.B) {
 
 // BenchmarkMotivation regenerates the Sec. III scalars.
 func BenchmarkMotivation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Motivation(benchOpt(fig4Subset...))
 	}
 }
 
 // BenchmarkFig4a regenerates Fig. 4a (normalized execution time; the same
-// grid also yields Fig. 4b, measured separately below).
+// grid also yields Fig. 4b, measured separately below). Each iteration
+// simulates the full five-configuration grid over fig4Subset.
 func BenchmarkFig4a(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := Fig4(benchOpt(fig4Subset...))
 		_ = r.TimeTable()
 	}
+	perOp := uint64(benchInstructions) * uint64(len(fig4Subset)) * uint64(len(Fig4Configs()))
+	reportInstrPerSec(b, perOp)
 }
 
 // BenchmarkFig4b regenerates Fig. 4b (normalized dynamic+leakage energy).
 func BenchmarkFig4b(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := Fig4(benchOpt(fig4Subset...))
 		_ = r.EnergyTable()
@@ -49,6 +82,7 @@ func BenchmarkFig4b(b *testing.B) {
 
 // BenchmarkWDU regenerates the Sec. VI-C WT vs WDU-8/16/32 comparison.
 func BenchmarkWDU(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		WDUComparison(benchOpt("gzip", "gap", "djpeg"))
 	}
@@ -56,6 +90,7 @@ func BenchmarkWDU(b *testing.B) {
 
 // BenchmarkCoverage regenerates the Sec. V feedback-update ablation.
 func BenchmarkCoverage(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		CoverageAblation(benchOpt("gzip", "gap", "djpeg"))
 	}
@@ -63,6 +98,7 @@ func BenchmarkCoverage(b *testing.B) {
 
 // BenchmarkMerge regenerates the Sec. VI-B merge-contribution analysis.
 func BenchmarkMerge(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		MergeContribution(benchOpt("gap", "equake", "mgrid"))
 	}
@@ -71,22 +107,25 @@ func BenchmarkMerge(b *testing.B) {
 // BenchmarkWayConstraint regenerates the Sec. V 3-of-4 way allocation
 // check.
 func BenchmarkWayConstraint(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		WayConstraint(benchOpt("gzip", "djpeg"))
 	}
 }
 
 // Single-configuration microbenchmarks: simulation throughput of each L1
-// interface model on one workload.
+// interface model on one workload, with allocations reported. These are
+// the purest view of the inner-loop hot path (no engine, no parallelism).
 
 func benchmarkConfig(b *testing.B, cfg Config) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := Run(cfg, "gzip", 30000, 1)
+		r := Run(cfg, "gzip", benchInstructions, 1)
 		if r.Cycles == 0 {
 			b.Fatal("empty run")
 		}
 	}
+	reportInstrPerSec(b, benchInstructions)
 }
 
 // BenchmarkSimBase1 measures Base1ldst simulation throughput.
@@ -98,10 +137,14 @@ func BenchmarkSimBase2(b *testing.B) { benchmarkConfig(b, Base2ld1st()) }
 // BenchmarkSimMALEC measures MALEC simulation throughput.
 func BenchmarkSimMALEC(b *testing.B) { benchmarkConfig(b, MALEC()) }
 
+// BenchmarkSimMALECWDU measures MALEC-with-WDU simulation throughput (the
+// WDU exercises a different way-determination bookkeeping path).
+func BenchmarkSimMALECWDU(b *testing.B) { benchmarkConfig(b, MALECWithWDU(16)) }
+
 // BenchmarkTraceGeneration measures synthetic workload generation.
 func BenchmarkTraceGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = Generate("gzip", 30000, uint64(i+1))
+		_ = Generate("gzip", benchInstructions, uint64(i+1))
 	}
 }

@@ -7,30 +7,120 @@
 //	malecbench -exp fig4 -n 500000
 //	malecbench -exp fig1,motivation
 //	malecbench -bench gzip,mcf    # restrict the benchmark set
+//	malecbench -throughput        # simulator throughput mode (JSON)
+//
+// Throughput mode measures the simulator itself instead of the paper's
+// figures: it runs each L1 interface variant on one workload and reports
+// committed instructions per second, wall time and allocations per run as
+// JSON. The committed BENCH_core.json at the repository root records these
+// numbers before and after hot-path changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"malec/internal/config"
+	"malec/internal/cpu"
 	"malec/internal/engine"
 	"malec/internal/experiments"
 )
 
+// throughputRow is one interface variant's measurement in -throughput mode.
+type throughputRow struct {
+	Config       string  `json:"config"`
+	NsPerRun     int64   `json:"ns_per_run"`
+	InstrPerSec  float64 `json:"instr_per_sec"`
+	AllocsPerRun uint64  `json:"allocs_per_run"`
+	BytesPerRun  uint64  `json:"bytes_per_run"`
+	Cycles       uint64  `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+}
+
+// throughputReport is the JSON document -throughput mode prints.
+type throughputReport struct {
+	Mode         string          `json:"mode"`
+	Benchmark    string          `json:"benchmark"`
+	Instructions int             `json:"instructions_per_run"`
+	Seed         uint64          `json:"seed"`
+	Runs         int             `json:"runs"`
+	Configs      []throughputRow `json:"configs"`
+}
+
+// runThroughput measures simulation throughput (committed instructions per
+// second and allocations per run) for each L1 interface variant. Wall time
+// is the best of runs (the least-disturbed sample); allocations are exact
+// per-run averages from the runtime's allocation counters.
+func runThroughput(benchmark string, instructions int, seed uint64, runs int) throughputReport {
+	rep := throughputReport{
+		Mode:         "throughput",
+		Benchmark:    benchmark,
+		Instructions: instructions,
+		Seed:         seed,
+		Runs:         runs,
+	}
+	cfgs := []config.Config{config.Base1ldst(), config.Base2ld1st(), config.MALEC(),
+		config.MALECWithWDU(16)}
+	for _, cfg := range cfgs {
+		cpu.RunBenchmark(cfg, benchmark, instructions, seed) // warm-up
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		best := time.Duration(1<<63 - 1)
+		var last cpu.Result
+		for r := 0; r < runs; r++ {
+			t0 := time.Now()
+			last = cpu.RunBenchmark(cfg, benchmark, instructions, seed)
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		runtime.ReadMemStats(&after)
+		rep.Configs = append(rep.Configs, throughputRow{
+			Config:       cfg.Name,
+			NsPerRun:     best.Nanoseconds(),
+			InstrPerSec:  float64(last.Instructions) / best.Seconds(),
+			AllocsPerRun: (after.Mallocs - before.Mallocs) / uint64(runs),
+			BytesPerRun:  (after.TotalAlloc - before.TotalAlloc) / uint64(runs),
+			Cycles:       last.Cycles,
+			IPC:          last.IPC(),
+		})
+	}
+	return rep
+}
+
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: tab1,tab2,motivation,fig1,fig4,wdu,coverage,merge,wayconstraint,latency,buses,comparelimit,mergewindow,segmented,bypass")
-		n        = flag.Int("n", 300000, "instructions per benchmark")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		bench    = flag.String("bench", "", "comma-separated benchmark subset (default all)")
-		cacheDir = flag.String("cache-dir", "", "persist/reuse simulation results in this directory")
-		workers  = flag.Int("workers", 0, "max concurrent simulations (default GOMAXPROCS)")
-		quiet    = flag.Bool("quiet", false, "suppress progress notes on stderr")
+		exps       = flag.String("exp", "all", "comma-separated experiments: tab1,tab2,motivation,fig1,fig4,wdu,coverage,merge,wayconstraint,latency,buses,comparelimit,mergewindow,segmented,bypass")
+		n          = flag.Int("n", 300000, "instructions per benchmark")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		bench      = flag.String("bench", "", "comma-separated benchmark subset (default all)")
+		cacheDir   = flag.String("cache-dir", "", "persist/reuse simulation results in this directory")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (default GOMAXPROCS)")
+		quiet      = flag.Bool("quiet", false, "suppress progress notes on stderr")
+		throughput = flag.Bool("throughput", false, "measure simulator throughput instead of regenerating figures; prints JSON")
+		tputRuns   = flag.Int("throughput-runs", 3, "timed runs per configuration in -throughput mode")
 	)
 	flag.Parse()
+
+	if *throughput {
+		benchmark := "gzip"
+		if *bench != "" {
+			benchmark = strings.Split(*bench, ",")[0]
+		}
+		rep := runThroughput(benchmark, *n, *seed, *tputRuns)
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "malecbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
 
 	// All experiments share one engine, so simulation points common to
 	// several figures (every driver includes MALEC and the baselines) run

@@ -120,7 +120,7 @@ func printResult(r cpu.Result, counters bool) {
 		names := r.Counters.Names()
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Printf("  %-36s %12d\n", n, r.Counters.Get(n))
+			fmt.Printf("  %-36s %12d\n", n, r.Counters.GetName(n))
 		}
 	}
 }

@@ -1,0 +1,124 @@
+package malec
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// updateGolden regenerates testdata/golden_results.json from the current
+// simulator. Run `go test -run TestGoldenResults -update` only when an
+// intentional model change is made; the file otherwise pins the exact
+// Result JSON (counters included) across refactors.
+var updateGolden = flag.Bool("update", false, "rewrite golden result files")
+
+const goldenPath = "testdata/golden_results.json"
+
+// goldenGrid is the fixed config x benchmark x seed grid the golden file
+// covers. It exercises all three interface variants plus the WDU, segmented
+// way-table and bypass extensions so every counter family appears.
+func goldenGrid() []struct {
+	Cfg   Config
+	Bench string
+	Seed  uint64
+} {
+	configs := []Config{
+		Base1ldst(),
+		Base2ld1st(),
+		MALEC(),
+		MALECWithWDU(16),
+		MALECSegmentedWT(16, 0.5),
+		MALECBypass(),
+	}
+	benchmarks := []string{"gzip", "swim", "djpeg"}
+	seeds := []uint64{1, 2}
+	var grid []struct {
+		Cfg   Config
+		Bench string
+		Seed  uint64
+	}
+	for _, c := range configs {
+		for _, b := range benchmarks {
+			for _, s := range seeds {
+				grid = append(grid, struct {
+					Cfg   Config
+					Bench string
+					Seed  uint64
+				}{c, b, s})
+			}
+		}
+	}
+	return grid
+}
+
+const goldenInstructions = 20000
+
+// goldenBytes runs the golden grid and renders every Result as indented
+// JSON, one labelled block per point, concatenated in grid order.
+func goldenBytes(t testing.TB) []byte {
+	var buf bytes.Buffer
+	for _, g := range goldenGrid() {
+		r := Run(g.Cfg, g.Bench, goldenInstructions, g.Seed)
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal %s/%s/%d: %v", g.Cfg.Name, g.Bench, g.Seed, err)
+		}
+		fmt.Fprintf(&buf, "=== %s %s seed=%d n=%d\n", g.Cfg.Name, g.Bench, g.Seed, goldenInstructions)
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenResults proves the Result JSON — counters included — is
+// byte-identical to the committed pre-refactor output for a fixed
+// config/benchmark/seed grid.
+func TestGoldenResults(t *testing.T) {
+	got := goldenBytes(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		line := 1
+		n := len(got)
+		if len(want) < n {
+			n = len(want)
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("golden mismatch at byte %d (line %d): got %q, want %q",
+					i, line, excerpt(got, i), excerpt(want, i))
+			}
+			if got[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("golden length mismatch: got %d bytes, want %d", len(got), len(want))
+	}
+}
+
+// excerpt returns a short window of b around offset i for mismatch reports.
+func excerpt(b []byte, i int) string {
+	lo, hi := i-40, i+40
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	return string(b[lo:hi])
+}

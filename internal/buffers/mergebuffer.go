@@ -21,10 +21,19 @@ type MBStats struct {
 // MergeBuffer coalesces committed stores per cache line. When a store to a
 // new line arrives while the buffer is full, the oldest entry is evicted as
 // an MBE (FIFO), which the L1 interface writes back when it wins access.
+//
+// Both the live entries and the pending-MBE backlog are fixed rings: the
+// backlog is bounded by CanAccept at 2x capacity during simulation, plus up
+// to capacity more from the end-of-run Drain, so neither ever allocates
+// after construction.
 type MergeBuffer struct {
 	cap     int
-	entries []mbEntry // FIFO order: index 0 is oldest
-	pending []MBE     // evicted entries awaiting L1 write
+	entries []mbEntry // ring of live entries; eHead is the oldest
+	eHead   int
+	eN      int
+	pending []MBE // ring of evicted entries awaiting L1 write
+	pHead   int
+	pN      int
 	stats   MBStats
 }
 
@@ -35,13 +44,24 @@ type mbEntry struct {
 
 // NewMergeBuffer returns a merge buffer with the given capacity (4 in the
 // paper).
-func NewMergeBuffer(capacity int) *MergeBuffer { return &MergeBuffer{cap: capacity} }
+func NewMergeBuffer(capacity int) *MergeBuffer {
+	return &MergeBuffer{
+		cap:     capacity,
+		entries: make([]mbEntry, capacity),
+		pending: make([]MBE, 3*capacity),
+	}
+}
+
+// entryAt returns the i-th live entry, oldest first.
+func (b *MergeBuffer) entryAt(i int) *mbEntry {
+	return &b.entries[(b.eHead+i)%len(b.entries)]
+}
 
 // Len returns the number of live entries.
-func (b *MergeBuffer) Len() int { return len(b.entries) }
+func (b *MergeBuffer) Len() int { return b.eN }
 
 // PendingMBEs returns the number of evicted entries awaiting L1 writes.
-func (b *MergeBuffer) PendingMBEs() int { return len(b.pending) }
+func (b *MergeBuffer) PendingMBEs() int { return b.pN }
 
 // Stats returns a copy of the activity counters.
 func (b *MergeBuffer) Stats() MBStats { return b.stats }
@@ -52,12 +72,12 @@ func (b *MergeBuffer) Stats() MBStats { return b.stats }
 // backlog keeps the model finite).
 func (b *MergeBuffer) CanAccept(va mem.Addr) bool {
 	line := va.LineAddr()
-	for i := range b.entries {
-		if b.entries[i].lineVA == line {
+	for i := 0; i < b.eN; i++ {
+		if b.entryAt(i).lineVA == line {
 			return true
 		}
 	}
-	return len(b.pending) < 2*b.cap
+	return b.pN < 2*b.cap
 }
 
 // mask returns the byte mask of an access within its line.
@@ -67,11 +87,7 @@ func maskFor(va mem.Addr, size uint8) uint64 {
 	if off+n > mem.LineSize {
 		n = mem.LineSize - off // truncate line-crossing stores (rare)
 	}
-	var m uint64
-	for i := uint32(0); i < n; i++ {
-		m |= 1 << (off + i)
-	}
-	return m
+	return ((uint64(1) << n) - 1) << off
 }
 
 // Insert coalesces a committed store. Callers must check CanAccept first.
@@ -79,41 +95,48 @@ func (b *MergeBuffer) Insert(va mem.Addr, size uint8) {
 	b.stats.Inserts++
 	line := va.LineAddr()
 	m := maskFor(va, size)
-	for i := range b.entries {
-		if b.entries[i].lineVA == line {
-			b.entries[i].mask |= m
+	for i := 0; i < b.eN; i++ {
+		if e := b.entryAt(i); e.lineVA == line {
+			e.mask |= m
 			b.stats.Merges++
 			return
 		}
 	}
-	if len(b.entries) >= b.cap {
+	if b.eN >= b.cap {
 		b.evictOldest()
 	}
-	b.entries = append(b.entries, mbEntry{lineVA: line, mask: m})
+	*b.entryAt(b.eN) = mbEntry{lineVA: line, mask: m}
+	b.eN++
 }
 
 // evictOldest turns the oldest entry into a pending MBE.
 func (b *MergeBuffer) evictOldest() {
-	e := b.entries[0]
-	b.entries = b.entries[1:]
-	b.pending = append(b.pending, MBE{LineVA: e.lineVA, Mask: e.mask})
+	if b.pN >= len(b.pending) {
+		panic("buffers: MBE backlog overflow (CanAccept not honored)")
+	}
+	e := b.entries[b.eHead]
+	b.eHead = (b.eHead + 1) % len(b.entries)
+	b.eN--
+	b.pending[(b.pHead+b.pN)%len(b.pending)] = MBE{LineVA: e.lineVA, Mask: e.mask}
+	b.pN++
 	b.stats.Evictions++
 }
 
 // NextMBE returns the oldest pending MBE without removing it.
 func (b *MergeBuffer) NextMBE() (MBE, bool) {
-	if len(b.pending) == 0 {
+	if b.pN == 0 {
 		return MBE{}, false
 	}
-	return b.pending[0], true
+	return b.pending[b.pHead], true
 }
 
 // PopMBE removes the oldest pending MBE after the L1 write completed.
 func (b *MergeBuffer) PopMBE() {
-	if len(b.pending) == 0 {
+	if b.pN == 0 {
 		panic("buffers: PopMBE on empty backlog")
 	}
-	b.pending = b.pending[1:]
+	b.pHead = (b.pHead + 1) % len(b.pending)
+	b.pN--
 }
 
 // Forward checks whether a load at va/size is fully covered by merged store
@@ -122,8 +145,8 @@ func (b *MergeBuffer) Forward(va mem.Addr, size uint8) bool {
 	b.stats.Lookups++
 	line := va.LineAddr()
 	need := maskFor(va, size)
-	for i := range b.entries {
-		if b.entries[i].lineVA == line && b.entries[i].mask&need == need {
+	for i := 0; i < b.eN; i++ {
+		if e := b.entryAt(i); e.lineVA == line && e.mask&need == need {
 			b.stats.Forwards++
 			return true
 		}
@@ -134,7 +157,7 @@ func (b *MergeBuffer) Forward(va mem.Addr, size uint8) bool {
 // Drain evicts all live entries into the pending backlog (used at end of
 // simulation).
 func (b *MergeBuffer) Drain() {
-	for len(b.entries) > 0 {
+	for b.eN > 0 {
 		b.evictOldest()
 	}
 }

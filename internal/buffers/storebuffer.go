@@ -31,23 +31,31 @@ type SBStats struct {
 	CommitStalls uint64 // commits delayed by a full merge buffer
 }
 
-// StoreBuffer holds speculative stores in program order.
+// StoreBuffer holds speculative stores in program order. Storage is a
+// fixed ring sized to the configured capacity, so steady-state operation
+// (insert at tail, drain at head) performs no allocation.
 type StoreBuffer struct {
-	cap     int
-	entries []SBEntry
+	entries []SBEntry // ring storage, len == capacity
+	head    int       // index of the oldest entry
+	n       int       // live entries
 	stats   SBStats
 }
 
 // NewStoreBuffer returns a store buffer with the given capacity.
 func NewStoreBuffer(capacity int) *StoreBuffer {
-	return &StoreBuffer{cap: capacity}
+	return &StoreBuffer{entries: make([]SBEntry, capacity)}
+}
+
+// at returns the i-th live entry, oldest first.
+func (b *StoreBuffer) at(i int) *SBEntry {
+	return &b.entries[(b.head+i)%len(b.entries)]
 }
 
 // Len returns the current occupancy.
-func (b *StoreBuffer) Len() int { return len(b.entries) }
+func (b *StoreBuffer) Len() int { return b.n }
 
 // Full reports whether the buffer can accept no more stores.
-func (b *StoreBuffer) Full() bool { return len(b.entries) >= b.cap }
+func (b *StoreBuffer) Full() bool { return b.n >= len(b.entries) }
 
 // Stats returns a copy of the activity counters.
 func (b *StoreBuffer) Stats() SBStats { return b.stats }
@@ -58,7 +66,8 @@ func (b *StoreBuffer) Insert(seq uint64, va mem.Addr, size uint8) bool {
 	if b.Full() {
 		return false
 	}
-	b.entries = append(b.entries, SBEntry{Seq: seq, VA: va, Size: size})
+	*b.at(b.n) = SBEntry{Seq: seq, VA: va, Size: size}
+	b.n++
 	b.stats.Inserts++
 	return true
 }
@@ -67,9 +76,9 @@ func (b *StoreBuffer) Insert(seq uint64, va mem.Addr, size uint8) bool {
 // instruction retired). Committed entries drain to the merge buffer in
 // order via DrainCommitted.
 func (b *StoreBuffer) Commit(seq uint64) {
-	for i := range b.entries {
-		if b.entries[i].Seq == seq {
-			b.entries[i].Committed = true
+	for i := 0; i < b.n; i++ {
+		if e := b.at(i); e.Seq == seq {
+			e.Committed = true
 			return
 		}
 	}
@@ -78,14 +87,15 @@ func (b *StoreBuffer) Commit(seq uint64) {
 // DrainCommitted moves committed entries (in order, from the head) into the
 // merge buffer while mb accepts them. Entries blocked by a full MB remain.
 func (b *StoreBuffer) DrainCommitted(mb *MergeBuffer) {
-	for len(b.entries) > 0 && b.entries[0].Committed {
-		e := b.entries[0]
+	for b.n > 0 && b.entries[b.head].Committed {
+		e := b.entries[b.head]
 		if !mb.CanAccept(e.VA) {
 			b.stats.CommitStalls++
 			return
 		}
 		mb.Insert(e.VA, e.Size)
-		b.entries = b.entries[1:]
+		b.head = (b.head + 1) % len(b.entries)
+		b.n--
 	}
 }
 
@@ -101,8 +111,8 @@ func overlaps(aStart, aEnd, bStart, bEnd uint64) bool {
 func (b *StoreBuffer) Forward(va mem.Addr, size uint8) (full, partial bool) {
 	b.stats.Lookups++
 	ls, le := uint64(va.Canon()), uint64(va.Canon())+uint64(size)
-	for i := len(b.entries) - 1; i >= 0; i-- {
-		e := &b.entries[i]
+	for i := b.n - 1; i >= 0; i-- {
+		e := b.at(i)
 		ss, se := uint64(e.VA.Canon()), uint64(e.VA.Canon())+uint64(e.Size)
 		if ss <= ls && le <= se {
 			b.stats.ForwardHits++

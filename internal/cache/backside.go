@@ -7,10 +7,13 @@ import "malec/internal/mem"
 // timing of L2 accesses, but does not significantly impact their number or
 // miss rate"), so the L2 tracks residency and counts only.
 type L2 struct {
-	ways  int
-	sets  int
-	lines [][]Line
-	lru   [][]uint64
+	ways int
+	sets int
+	// lines and lru are flat set-major arrays (set s, way w at s*ways+w):
+	// two allocations per L2 instead of two per set, which matters when
+	// the engine spins up thousands of short simulations.
+	lines []Line
+	lru   []uint64
 	clock uint64
 
 	Latency     int // cycles added on an L1 miss that hits L2
@@ -39,12 +42,8 @@ func NewL2Custom(capacity, ways, latency int) *L2 {
 		panic("cache: L2 too small")
 	}
 	l := &L2{ways: ways, sets: sets, Latency: latency}
-	l.lines = make([][]Line, sets)
-	l.lru = make([][]uint64, sets)
-	for i := range l.lines {
-		l.lines[i] = make([]Line, ways)
-		l.lru[i] = make([]uint64, ways)
-	}
+	l.lines = make([]Line, sets*ways)
+	l.lru = make([]uint64, sets*ways)
 	return l
 }
 
@@ -61,13 +60,15 @@ func (l *L2) set(pa mem.Addr) int {
 // Access looks up pa, filling on miss, and reports whether it hit.
 func (l *L2) Access(pa mem.Addr) (hit bool) {
 	l.accesses++
-	s := l.set(pa)
+	base := l.set(pa) * l.ways
+	lines := l.lines[base : base+l.ways]
+	lru := l.lru[base : base+l.ways]
 	target := pa.LineAddr()
-	for w := range l.lines[s] {
-		if l.lines[s][w].Valid && l.lines[s][w].PLine == target {
+	for w := range lines {
+		if lines[w].Valid && lines[w].PLine == target {
 			l.hits++
 			l.clock++
-			l.lru[s][w] = l.clock
+			lru[w] = l.clock
 			return true
 		}
 	}
@@ -75,13 +76,13 @@ func (l *L2) Access(pa mem.Addr) (hit bool) {
 	// Fill (LRU victim).
 	way := 0
 	for w := 1; w < l.ways; w++ {
-		if l.lru[s][w] < l.lru[s][way] {
+		if lru[w] < lru[way] {
 			way = w
 		}
 	}
-	l.lines[s][way] = Line{Valid: true, PLine: target}
+	lines[way] = Line{Valid: true, PLine: target}
 	l.clock++
-	l.lru[s][way] = l.clock
+	lru[way] = l.clock
 	return false
 }
 

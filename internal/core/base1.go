@@ -37,12 +37,12 @@ func (b *Base1) TryIssue(r Request) bool {
 		}
 		b.sys.translate(r.VA.Page())
 		b.sys.SB.Insert(r.Seq, r.VA, r.Size)
-		b.sys.Ctr.Inc("issue.stores")
+		b.sys.Ctr.Inc(stats.CtrIssueStores)
 		b.aguUsed = true
 		return true
 	}
 	b.pending = append(b.pending, r)
-	b.sys.Ctr.Inc("issue.loads")
+	b.sys.Ctr.Inc(stats.CtrIssueLoads)
 	b.aguUsed = true
 	return true
 }
@@ -77,7 +77,7 @@ func (b *Base1) Tick() []Completion {
 			pline := b.sys.Hier.PT.TranslateAddr(mbe.LineVA) // PA captured at store issue
 			b.sys.mbeWrite(pline, -1)
 			b.sys.MB.PopMBE()
-			b.sys.Ctr.Inc("mb.mbe_writes")
+			b.sys.Ctr.Inc(stats.CtrMBMBEWrites)
 		}
 	}
 	b.aguUsed = false

@@ -37,7 +37,7 @@ func (b *Base2) TryIssue(r Request) bool {
 		}
 		b.sys.translate(r.VA.Page())
 		b.sys.SB.Insert(r.Seq, r.VA, r.Size)
-		b.sys.Ctr.Inc("issue.stores")
+		b.sys.Ctr.Inc(stats.CtrIssueStores)
 		b.storesIssued++
 		return true
 	}
@@ -45,7 +45,7 @@ func (b *Base2) TryIssue(r Request) bool {
 		return false
 	}
 	b.pending = append(b.pending, r)
-	b.sys.Ctr.Inc("issue.loads")
+	b.sys.Ctr.Inc(stats.CtrIssueLoads)
 	b.loadsIssued++
 	return true
 }
@@ -81,7 +81,7 @@ func (b *Base2) Tick() []Completion {
 			pline := b.sys.Hier.PT.TranslateAddr(mbe.LineVA)
 			b.sys.mbeWrite(pline, -1)
 			b.sys.MB.PopMBE()
-			b.sys.Ctr.Inc("mb.mbe_writes")
+			b.sys.Ctr.Inc(stats.CtrMBMBEWrites)
 			writes++
 		}
 	}

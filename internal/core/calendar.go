@@ -1,0 +1,84 @@
+package core
+
+// calendar is a ring-buffer calendar queue mapping future cycles to the
+// loads completing then. It replaces the map[int64][]Completion the
+// scheduler used to allocate into on every load: slots are addressed by
+// cycle modulo a power-of-two capacity, and each slot's backing array is
+// reused across laps, so steady-state scheduling performs no allocation.
+//
+// Invariant: events are only scheduled for cycles strictly after the
+// current one and within capacity cycles of it (schedule grows the ring on
+// the rare occasion a completion lands beyond the horizon), so a slot is
+// always drained by take before a later cycle can map onto it.
+type calendar struct {
+	slots [][]Completion
+	mask  int64
+}
+
+// slotCap is the pre-allocated per-slot capacity. Four matches the result
+// bus count, the common bound on loads completing in one cycle; slots that
+// ever exceed it fall back to ordinary append growth.
+const slotCap = 4
+
+// makeSlots carves n empty slots with capacity slotCap out of one slab, so
+// building (or growing) a ring costs two allocations, not n.
+func makeSlots(n int) [][]Completion {
+	slab := make([]Completion, n*slotCap)
+	slots := make([][]Completion, n)
+	for i := range slots {
+		slots[i] = slab[i*slotCap : i*slotCap : (i+1)*slotCap]
+	}
+	return slots
+}
+
+// newCalendar returns a calendar able to hold events up to minHorizon
+// cycles ahead without growing.
+func newCalendar(minHorizon int) *calendar {
+	n := 64
+	for n <= minHorizon {
+		n <<= 1
+	}
+	return &calendar{slots: makeSlots(n), mask: int64(n - 1)}
+}
+
+// schedule files c for cycle at, where now is the current cycle and
+// now < at.
+func (q *calendar) schedule(now, at int64, c Completion) {
+	if at-now >= int64(len(q.slots)) {
+		q.grow(now, at)
+	}
+	i := at & q.mask
+	q.slots[i] = append(q.slots[i], c)
+}
+
+// grow enlarges the ring so that at fits within the horizon, rehoming the
+// live slots to their new positions. Only the strictly-future cycles
+// (now, now+len) are carried over: the slot drained at cycle now may still
+// be aliased by the slice take returned this cycle, so it must not be
+// reused for a future cycle.
+func (q *calendar) grow(now, at int64) {
+	old := q.slots
+	oldMask := q.mask
+	n := len(old)
+	for at-now >= int64(n) {
+		n <<= 1
+	}
+	q.slots = makeSlots(n)
+	q.mask = int64(n - 1)
+	for c := now + 1; c < now+int64(len(old)); c++ {
+		q.slots[c&q.mask] = old[c&oldMask]
+	}
+}
+
+// take removes and returns the completions due at cycle. The returned
+// slice is only valid until the slot's cycle comes around again (at least
+// one full lap of the ring later); callers consume it within the same
+// simulated cycle.
+func (q *calendar) take(cycle int64) []Completion {
+	i := cycle & q.mask
+	due := q.slots[i]
+	if len(due) > 0 {
+		q.slots[i] = due[:0]
+	}
+	return due
+}

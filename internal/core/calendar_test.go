@@ -1,0 +1,49 @@
+package core
+
+import "testing"
+
+// TestCalendarGrow exercises the ring growth path: events scheduled beyond
+// the initial horizon must survive the rehoming.
+func TestCalendarGrow(t *testing.T) {
+	q := newCalendar(1) // 64 slots
+	var now int64
+	// Fill several near slots and one far beyond the horizon.
+	q.schedule(now, 5, Completion{Seq: 5})
+	q.schedule(now, 63, Completion{Seq: 63})
+	q.schedule(now, 200, Completion{Seq: 200}) // forces grow to 256
+	q.schedule(now, 1000, Completion{Seq: 1000})
+	got := map[int64]uint64{}
+	for now < 1001 {
+		now++
+		for _, c := range q.take(now) {
+			got[now] = c.Seq
+		}
+	}
+	for _, at := range []int64{5, 63, 200, 1000} {
+		if got[at] != uint64(at) {
+			t.Fatalf("event at cycle %d lost (got %v)", at, got)
+		}
+	}
+}
+
+// TestCalendarSlotReuse checks that a drained slot's backing array is
+// reused without corrupting the previously returned slice within a cycle.
+func TestCalendarSlotReuse(t *testing.T) {
+	q := newCalendar(1)
+	var now int64
+	for i := 0; i < 10_000; i++ {
+		now++
+		due := q.take(now)
+		for _, c := range due {
+			if c.Seq != uint64(now) {
+				t.Fatalf("cycle %d: got seq %d", now, c.Seq)
+			}
+		}
+		// Schedule a handful of future events each cycle.
+		for d := int64(1); d <= 4; d++ {
+			q.schedule(now, now+d*7, Completion{Seq: uint64(now + d*7)})
+		}
+		// Consume duplicates: each cycle may receive several events.
+		_ = due
+	}
+}

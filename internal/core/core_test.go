@@ -5,6 +5,7 @@ import (
 
 	"malec/internal/config"
 	"malec/internal/mem"
+	"malec/internal/stats"
 )
 
 // tick advances an interface n cycles, collecting completions.
@@ -143,7 +144,7 @@ func TestStoreForwarding(t *testing.T) {
 		if !found {
 			t.Fatalf("%s: forwarded load never completed", iface.Name())
 		}
-		if iface.Counters().Get("sb.forwards") == 0 {
+		if iface.Counters().Get(stats.CtrSBForwards) == 0 {
 			t.Fatalf("%s: store-to-load forward not counted", iface.Name())
 		}
 		// The forwarded load must not touch the L1.
@@ -162,7 +163,7 @@ func TestCommitPathWritesMBE(t *testing.T) {
 	if b.System().L1.Stats().Stores == 0 {
 		t.Fatal("committed store never reached the L1")
 	}
-	if b.Counters().Get("mb.mbe_writes") != 1 {
+	if b.Counters().Get(stats.CtrMBMBEWrites) != 1 {
 		t.Fatal("MBE write not counted")
 	}
 }
@@ -214,11 +215,11 @@ func TestMalecDifferentPagesSerialized(t *testing.T) {
 	m.TryIssue(load(1, mem.MakeAddr(1, 0)))
 	m.TryIssue(load(2, mem.MakeAddr(2, 0)))
 	m.Tick() // only page 1's group serviced
-	if got := m.Counters().Get("malec.groups"); got != 1 {
+	if got := m.Counters().Get(stats.CtrMalecGroups); got != 1 {
 		t.Fatalf("groups after one tick = %d", got)
 	}
 	m.Tick() // page 2 next cycle
-	if got := m.Counters().Get("malec.groups"); got != 2 {
+	if got := m.Counters().Get(stats.CtrMalecGroups); got != 2 {
 		t.Fatalf("groups after two ticks = %d", got)
 	}
 	// One page per cycle means one translation per cycle.
@@ -235,7 +236,7 @@ func TestMalecBankConflictCarriesLoad(t *testing.T) {
 	m.TryIssue(load(1, mem.MakeAddr(page, 0)))
 	m.TryIssue(load(2, mem.MakeAddr(page, 4*mem.LineSize)))
 	m.Tick()
-	if got := m.Counters().Get("malec.bank_conflicts"); got != 1 {
+	if got := m.Counters().Get(stats.CtrMalecBankConflicts); got != 1 {
 		t.Fatalf("bank conflicts = %d, want 1", got)
 	}
 	comps := tick(m, 200)
@@ -251,7 +252,7 @@ func TestMalecMergeSameWindow(t *testing.T) {
 	m.TryIssue(load(1, mem.MakeAddr(page, 0)))
 	m.TryIssue(load(2, mem.MakeAddr(page, 8)))
 	m.Tick()
-	if got := m.Counters().Get("malec.merged_loads"); got != 1 {
+	if got := m.Counters().Get(stats.CtrMalecMergedLoads); got != 1 {
 		t.Fatalf("merged loads = %d, want 1", got)
 	}
 	if got := m.System().L1.Stats().Loads; got != 1 {
@@ -271,7 +272,7 @@ func TestMalecNoMergeAcrossWindows(t *testing.T) {
 	m.TryIssue(load(1, mem.MakeAddr(page, 0)))
 	m.TryIssue(load(2, mem.MakeAddr(page, 32)))
 	m.Tick()
-	if got := m.Counters().Get("malec.merged_loads"); got != 0 {
+	if got := m.Counters().Get(stats.CtrMalecMergedLoads); got != 0 {
 		t.Fatalf("merged loads = %d, want 0", got)
 	}
 }
@@ -282,7 +283,7 @@ func TestMalecNoMergeConfig(t *testing.T) {
 	m.TryIssue(load(1, mem.MakeAddr(page, 0)))
 	m.TryIssue(load(2, mem.MakeAddr(page, 8)))
 	m.Tick()
-	if got := m.Counters().Get("malec.merged_loads"); got != 0 {
+	if got := m.Counters().Get(stats.CtrMalecMergedLoads); got != 0 {
 		t.Fatal("merging disabled but loads merged")
 	}
 }
@@ -303,7 +304,7 @@ func TestMalecInputBufferCapacityStalls(t *testing.T) {
 		}
 		m.Tick()
 	}
-	if m.Counters().Get("ib.stalls") == 0 {
+	if m.Counters().Get(stats.CtrIBStalls) == 0 {
 		t.Skip("no stall provoked; address pattern too friendly")
 	}
 }
@@ -333,7 +334,7 @@ func TestMalecMBEWriteHappens(t *testing.T) {
 	m.Tick()
 	m.CommitStore(1)
 	drain(t, m)
-	if m.Counters().Get("mb.mbe_writes") != 1 {
+	if m.Counters().Get(stats.CtrMBMBEWrites) != 1 {
 		t.Fatal("MBE never written")
 	}
 	if m.System().L1.Stats().Stores == 0 {
@@ -351,12 +352,12 @@ func TestMalecMBEFairness(t *testing.T) {
 	m.Tick()  // drain SB -> MB
 	m.Flush() // force the MB entry out as a pending MBE
 	seq := uint64(2)
-	for c := 0; c < 100 && m.Counters().Get("mb.mbe_writes") == 0; c++ {
+	for c := 0; c < 100 && m.Counters().Get(stats.CtrMBMBEWrites) == 0; c++ {
 		m.TryIssue(load(seq, mem.MakeAddr(1, uint32(c%64)*mem.LineSize)))
 		seq++
 		m.Tick()
 	}
-	if m.Counters().Get("mb.mbe_writes") == 0 {
+	if m.Counters().Get(stats.CtrMBMBEWrites) == 0 {
 		t.Fatal("MBE starved past the fairness limit")
 	}
 }

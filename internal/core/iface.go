@@ -76,9 +76,9 @@ type System struct {
 	MeterV *energy.Meter
 	Ctr    *stats.Counters
 
-	cycle       int64
-	completions map[int64][]Completion
-	pending     int
+	cycle   int64
+	cal     *calendar
+	pending int
 
 	// mshr holds the retirement cycles of outstanding misses; when full,
 	// a new miss waits for the earliest to retire.
@@ -112,8 +112,14 @@ func NewSystem(cfg config.Config) *System {
 			WDUEntries:    cfg.WDUEntries,
 			WDUPorts:      cfg.WDUPorts,
 		}),
-		Ctr:         stats.NewCounters(),
-		completions: make(map[int64][]Completion),
+		Ctr: stats.NewCounters(),
+		// The completion horizon is bounded by the TLB walk, the L1
+		// latency and the worst MSHR-induced chain of backside misses;
+		// the calendar grows on its own in the rare case a completion
+		// lands beyond this estimate.
+		cal: newCalendar(cfg.L1Latency + cfg.TLBRefillLatency +
+			cfg.WalkLatency + (cfg.MSHRs+2)*64 + 64),
+		mshr: make([]int64, 0, cfg.MSHRs+1),
 	}
 	if cfg.Bypass {
 		s.detector = cache.NewStreamDetector(256)
@@ -189,8 +195,7 @@ func (s *System) Cycle() int64 { return s.cycle }
 // advance moves to the next cycle and returns completions due.
 func (s *System) advance() []Completion {
 	s.cycle++
-	due := s.completions[s.cycle]
-	delete(s.completions, s.cycle)
+	due := s.cal.take(s.cycle)
 	s.pending -= len(due)
 	return due
 }
@@ -200,7 +205,7 @@ func (s *System) schedule(seq uint64, at int64) {
 	if at <= s.cycle {
 		at = s.cycle + 1
 	}
-	s.completions[at] = append(s.completions[at], Completion{Seq: seq})
+	s.cal.schedule(s.cycle, at, Completion{Seq: seq})
 	s.pending++
 }
 
@@ -213,15 +218,15 @@ func (s *System) Pending() int { return s.pending }
 func (s *System) translate(vpage mem.PageID) (res tlb.Result) {
 	res = s.Hier.Translate(vpage)
 	s.MeterV.UTLBLookup()
-	s.Ctr.Inc("tlb.utlb_lookups")
+	s.Ctr.Inc(stats.CtrUTLBLookups)
 	switch res.Level {
 	case tlb.LevelTLB:
 		s.MeterV.TLBLookup()
-		s.Ctr.Inc("tlb.tlb_lookups")
+		s.Ctr.Inc(stats.CtrTLBLookups)
 	case tlb.LevelWalk:
 		s.MeterV.TLBLookup()
-		s.Ctr.Inc("tlb.tlb_lookups")
-		s.Ctr.Inc("tlb.walks")
+		s.Ctr.Inc(stats.CtrTLBLookups)
+		s.Ctr.Inc(stats.CtrTLBWalks)
 	}
 	return res
 }
@@ -233,7 +238,7 @@ func (s *System) loadAccess(pa mem.Addr, way int, wayKnown bool, uIdx int) (extr
 	if wayKnown {
 		s.L1.ReadReduced(pa, way)
 		s.MeterV.L1ReducedRead()
-		s.Ctr.Inc("l1.reduced_reads")
+		s.Ctr.Inc(stats.CtrL1ReducedReads)
 		if s.detector != nil {
 			s.detector.Observe(pa.Page(), false)
 		}
@@ -248,7 +253,7 @@ func (s *System) loadAccess(pa mem.Addr, way int, wayKnown bool, uIdx int) (extr
 		s.detector.Observe(pa.Page(), !hit)
 	}
 	s.MeterV.L1ConventionalRead(s.L1.Ways())
-	s.Ctr.Inc("l1.conventional_reads")
+	s.Ctr.Inc(stats.CtrL1ConventionalReads)
 	if hit {
 		// Last-entry feedback: learn the observed way.
 		s.Det.Feedback(pa, uIdx, hitWay)
@@ -261,9 +266,9 @@ func (s *System) loadAccess(pa mem.Addr, way int, wayKnown bool, uIdx int) (extr
 	}
 	// Miss: fetch from the backside and fill (unless the page's region is
 	// classified as streaming and bypassing is enabled).
-	s.Ctr.Inc("l1.load_misses")
+	s.Ctr.Inc(stats.CtrL1LoadMisses)
 	if bypassed {
-		s.Ctr.Inc("l1.bypassed_fills")
+		s.Ctr.Inc(stats.CtrL1BypassedFills)
 		return s.missLatency(pa)
 	}
 	lat := s.missLatency(pa)
@@ -294,7 +299,7 @@ func (s *System) missLatency(pa mem.Addr) int {
 		}
 		if w := int(s.mshr[earliestIdx] - now); w > 0 {
 			wait = w
-			s.Ctr.Inc("l1.mshr_stalls")
+			s.Ctr.Inc(stats.CtrL1MSHRStalls)
 		}
 		s.mshr = append(s.mshr[:earliestIdx], s.mshr[earliestIdx+1:]...)
 	}
@@ -308,11 +313,11 @@ func (s *System) missLatency(pa mem.Addr) int {
 func (s *System) fill(pa mem.Addr) {
 	_, victim, wb := s.L1.Fill(pa)
 	s.MeterV.L1Fill()
-	s.Ctr.Inc("l1.fills")
+	s.Ctr.Inc(stats.CtrL1Fills)
 	if wb {
 		s.MeterV.L1Eviction()
 		s.Back.Writeback(victim)
-		s.Ctr.Inc("l1.writebacks")
+		s.Ctr.Inc(stats.CtrL1Writebacks)
 	}
 }
 
@@ -324,18 +329,18 @@ func (s *System) mbeWrite(pline mem.Addr, uIdx int) {
 	if known {
 		s.L1.WriteReduced(pline, way)
 		s.MeterV.L1ReducedWrite()
-		s.Ctr.Inc("l1.reduced_writes")
+		s.Ctr.Inc(stats.CtrL1ReducedWrites)
 		return
 	}
 	hitWay, hit := s.L1.Write(pline)
 	s.MeterV.L1Write(s.L1.Ways())
-	s.Ctr.Inc("l1.conventional_writes")
+	s.Ctr.Inc(stats.CtrL1ConventionalWrites)
 	if hit {
 		s.Det.Feedback(pline, uIdx, hitWay)
 		return
 	}
 	// Write-allocate: fill then mark dirty.
-	s.Ctr.Inc("l1.store_misses")
+	s.Ctr.Inc(stats.CtrL1StoreMisses)
 	s.missLatency(pline)
 	s.fill(pline)
 	s.L1.MarkDirty(pline)
@@ -346,11 +351,11 @@ func (s *System) mbeWrite(pline mem.Addr, uIdx int) {
 // configurations").
 func (s *System) forwardCheck(va mem.Addr, size uint8) bool {
 	if full, _ := s.SB.Forward(va, size); full {
-		s.Ctr.Inc("sb.forwards")
+		s.Ctr.Inc(stats.CtrSBForwards)
 		return true
 	}
 	if s.MB.Forward(va, size) {
-		s.Ctr.Inc("mb.forwards")
+		s.Ctr.Inc(stats.CtrMBForwards)
 		return true
 	}
 	return false

@@ -27,6 +27,12 @@ type Malec struct {
 	newStores int
 	aguUsed   int
 	mbeWait   int64 // cycles the oldest pending MBE has waited
+
+	// group and serviced are per-cycle scratch buffers reused across
+	// serviceGroup calls so the steady-state arbitration loop allocates
+	// nothing.
+	group    []int
+	serviced []bool
 }
 
 // ibEntry is an input buffer slot.
@@ -65,17 +71,17 @@ func (m *Malec) TryIssue(r Request) bool {
 		// No translation at issue: the MBE translates (shared) when it
 		// re-enters via the input buffer.
 		m.sys.SB.Insert(r.Seq, r.VA, r.Size)
-		m.sys.Ctr.Inc("issue.stores")
+		m.sys.Ctr.Inc(stats.CtrIssueStores)
 		m.newStores++
 		m.aguUsed++
 		return true
 	}
 	if m.newLoads >= m.sys.Cfg.AGULoads || len(m.ib) >= m.capacity() {
-		m.sys.Ctr.Inc("ib.stalls")
+		m.sys.Ctr.Inc(stats.CtrIBStalls)
 		return false
 	}
 	m.ib = append(m.ib, ibEntry{req: r, arrived: m.sys.Cycle()})
-	m.sys.Ctr.Inc("issue.loads")
+	m.sys.Ctr.Inc(stats.CtrIssueLoads)
 	m.newLoads++
 	m.aguUsed++
 	return true
@@ -132,18 +138,19 @@ func (m *Malec) serviceGroup() {
 	// against every other valid entry in parallel (the input buffer's
 	// narrow comparators).
 	res := m.sys.translate(vpage)
-	m.sys.Ctr.Inc("malec.groups")
+	m.sys.Ctr.Inc(stats.CtrMalecGroups)
 
 	// Gather the group: input buffer entries matching the page, in
 	// priority order, plus the MBE when it matches.
-	var group []int
+	group := m.group[:0]
 	for i := range m.ib {
 		if m.ib[i].req.VA.Page() == vpage {
 			group = append(group, i)
 		}
 	}
+	m.group = group
 	mbeInGroup := haveMBE && (mbeIsHead || mbe.LineVA.Page() == vpage)
-	m.sys.Ctr.Add("malec.group_loads", uint64(len(group)))
+	m.sys.Ctr.Add(stats.CtrMalecGroupLoads, uint64(len(group)))
 
 	// One uWT entry read services the whole group (Sec. V: the energy to
 	// evaluate WT entries is independent of the number of references).
@@ -153,7 +160,14 @@ func (m *Malec) serviceGroup() {
 
 	var banks [mem.NumBanks]bankClaim
 	buses := m.sys.Cfg.MaxLoadsPerCycle
-	serviced := make(map[int]bool, len(group))
+	if cap(m.serviced) < len(m.ib) {
+		m.serviced = make([]bool, len(m.ib))
+	}
+	serviced := m.serviced[:len(m.ib)]
+	for i := range serviced {
+		serviced[i] = false
+	}
+	nServiced := 0
 	baseLat := m.sys.Cfg.L1Latency + res.Latency
 
 	for gi, idx := range group {
@@ -166,6 +180,7 @@ func (m *Malec) serviceGroup() {
 		if m.sys.forwardCheck(r.VA, r.Size) {
 			m.sys.schedule(r.Seq, m.sys.Cycle()+int64(baseLat))
 			serviced[idx] = true
+			nServiced++
 			buses--
 			continue
 		}
@@ -183,6 +198,7 @@ func (m *Malec) serviceGroup() {
 				way: way, wayKnown: known, extraLat: extra}
 			m.sys.schedule(r.Seq, m.sys.Cycle()+int64(baseLat+extra))
 			serviced[idx] = true
+			nServiced++
 			buses--
 		case !c.isMBE && c.mergeKey == key &&
 			gi-c.groupIdx <= m.sys.Cfg.MergeCompareLimit &&
@@ -191,11 +207,12 @@ func (m *Malec) serviceGroup() {
 			// access, no extra energy), consuming only a result bus.
 			m.sys.schedule(r.Seq, m.sys.Cycle()+int64(baseLat+c.extraLat))
 			serviced[idx] = true
+			nServiced++
 			buses--
-			m.sys.Ctr.Inc("malec.merged_loads")
+			m.sys.Ctr.Inc(stats.CtrMalecMergedLoads)
 		default:
 			// Bank conflict: the entry stays in the input buffer.
-			m.sys.Ctr.Inc("malec.bank_conflicts")
+			m.sys.Ctr.Inc(stats.CtrMalecBankConflicts)
 		}
 	}
 
@@ -206,13 +223,13 @@ func (m *Malec) serviceGroup() {
 		if !banks[bank].claimed {
 			m.sys.mbeWrite(pline, res.UIdx)
 			m.sys.MB.PopMBE()
-			m.sys.Ctr.Inc("mb.mbe_writes")
+			m.sys.Ctr.Inc(stats.CtrMBMBEWrites)
 			m.mbeWait = 0
 		}
 	}
 
 	// Compact the input buffer, keeping unserviced entries in order.
-	if len(serviced) > 0 {
+	if nServiced > 0 {
 		kept := m.ib[:0]
 		for i := range m.ib {
 			if !serviced[i] {
@@ -222,7 +239,7 @@ func (m *Malec) serviceGroup() {
 		m.ib = kept
 	}
 	if carried := len(m.ib); carried > 0 {
-		m.sys.Ctr.Add("ib.carried", uint64(carried))
+		m.sys.Ctr.Add(stats.CtrIBCarried, uint64(carried))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"malec/internal/config"
 	"malec/internal/mem"
 	"malec/internal/rng"
+	"malec/internal/stats"
 )
 
 // TestRandomizedConservation drives each interface with a randomized
@@ -99,7 +100,7 @@ func TestRandomizedConservation(t *testing.T) {
 			}
 			// Every committed store must have reached the L1.
 			sys := iface.System()
-			mbe := iface.Counters().Get("mb.mbe_writes")
+			mbe := iface.Counters().Get(stats.CtrMBMBEWrites)
 			if sys.L1.Stats().Stores == 0 || mbe == 0 {
 				t.Fatal("no stores reached the L1")
 			}

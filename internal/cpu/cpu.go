@@ -112,16 +112,26 @@ type instr struct {
 	done   int64
 }
 
-// machine is the transient simulation state.
+// machine is the transient simulation state. The ROB is a fixed ring
+// (capacity rounded up to a power of two): dispatch writes at the tail,
+// retire pops at the head, and completions index entries directly via
+// their sequence numbers, which are contiguous within the window.
 type machine struct {
-	cfg    config.Config
-	iface  core.Interface
-	src    Source
-	lq     *buffers.LoadQueue
-	rob    []instr
-	doneAt [doneWindow]int64
-	seq    uint64
-	cycle  int64
+	cfg     config.Config
+	iface   core.Interface
+	src     Source
+	lq      *buffers.LoadQueue
+	rob     []instr // ring storage, len is a power of two >= cfg.ROB
+	robMask uint64
+	robHead uint64 // ring index of the oldest instruction
+	robLen  int
+	// issueHint is the number of leading ROB entries known to be issued;
+	// the issue scan starts there instead of at the head. Entries never
+	// un-issue, so the prefix only shrinks when retire pops the head.
+	issueHint int
+	doneAt    [doneWindow]int64
+	seq       uint64
+	cycle     int64
 
 	instructions uint64
 	loads        uint64
@@ -147,13 +157,23 @@ const frontendRefill = 20
 // Run simulates src to completion on the machine described by cfg and
 // returns the collected results.
 func Run(cfg config.Config, benchmark string, src Source) Result {
+	robCap := 1
+	for robCap < cfg.ROB {
+		robCap <<= 1
+	}
 	m := &machine{cfg: cfg, iface: core.New(cfg), src: src,
-		lq: buffers.NewLoadQueue(cfg.LQ)}
+		lq:  buffers.NewLoadQueue(cfg.LQ),
+		rob: make([]instr, robCap), robMask: uint64(robCap - 1)}
 	for i := range m.doneAt {
 		m.doneAt[i] = 0 // pre-history: always ready
 	}
 	m.run()
 	return m.result(benchmark)
+}
+
+// robAt returns the i-th in-flight instruction, oldest first.
+func (m *machine) robAt(i int) *instr {
+	return &m.rob[(m.robHead+uint64(i))&m.robMask]
 }
 
 // run executes the cycle loop. A stall detector panics with a state dump if
@@ -190,7 +210,7 @@ func (m *machine) run() {
 			lastState = state
 			lastProgress = m.cycle
 		}
-		if m.srcDone && len(m.rob) == 0 {
+		if m.srcDone && m.robLen == 0 {
 			// Keep flushing: store-buffer entries committed on the last
 			// retire cycles drain into the merge buffer afterwards.
 			m.iface.Flush()
@@ -204,24 +224,29 @@ func (m *machine) run() {
 // stateDump renders the stalled machine state for deadlock diagnostics.
 func (m *machine) stateDump() string {
 	head := "empty"
-	if len(m.rob) > 0 {
-		in := m.rob[0]
+	if m.robLen > 0 {
+		in := m.robAt(0)
 		head = fmt.Sprintf("seq=%d kind=%v issued=%v done=%d ready=%v",
-			in.seq, in.rec.Kind, in.issued, in.done, m.ready(&in))
+			in.seq, in.rec.Kind, in.issued, in.done, m.ready(in))
 	}
 	return fmt.Sprintf(
 		"rob=%d head={%s} lq=%d pendingLoads=%d srcDone=%v idle=%v instrs=%d",
-		len(m.rob), head, m.lq.Len(), m.iface.Pending(), m.srcDone,
+		m.robLen, head, m.lq.Len(), m.iface.Pending(), m.srcDone,
 		m.iface.Idle(), m.instructions)
 }
 
-// complete marks a load's result available.
+// complete marks a load's result available. In-flight sequence numbers are
+// contiguous (dispatch assigns them in order, retire pops in order), so the
+// instruction is located by direct indexing instead of a ROB scan.
 func (m *machine) complete(seq uint64) {
 	m.doneAt[seq%doneWindow] = m.cycle
-	for i := range m.rob {
-		if m.rob[i].seq == seq {
-			m.rob[i].done = m.cycle
-			break
+	if m.robLen > 0 {
+		if headSeq := m.robAt(0).seq; seq >= headSeq && seq-headSeq < uint64(m.robLen) {
+			in := m.robAt(int(seq - headSeq))
+			if in.seq != seq {
+				panic("cpu: ROB sequence numbers not contiguous")
+			}
+			in.done = m.cycle
 		}
 	}
 	m.lq.Release()
@@ -231,29 +256,35 @@ func (m *machine) complete(seq uint64) {
 // returns the number of instructions retired.
 func (m *machine) retire() int {
 	n := 0
-	for len(m.rob) > 0 && n < m.cfg.CommitWidth {
-		head := &m.rob[0]
+	for m.robLen > 0 && n < m.cfg.CommitWidth {
+		head := m.robAt(0)
 		if !head.issued || head.done > m.cycle {
 			return n
 		}
 		if head.rec.Kind == trace.Store {
 			m.iface.CommitStore(head.seq)
 		}
-		m.rob = m.rob[1:]
+		m.robHead = (m.robHead + 1) & m.robMask
+		m.robLen--
+		if m.issueHint > 0 {
+			m.issueHint--
+		}
 		n++
 	}
 	return n
 }
 
-// ready reports whether an instruction's producers have completed.
+// ready reports whether an instruction's producers have completed. It is
+// the hottest leaf of the issue scan, so the two dependency checks are
+// unrolled.
 func (m *machine) ready(in *instr) bool {
-	for _, d := range [2]uint32{in.rec.Dep1, in.rec.Dep2} {
-		if d == 0 || uint64(d) > in.seq {
-			continue
-		}
-		if m.doneAt[(in.seq-uint64(d))%doneWindow] > m.cycle {
-			return false
-		}
+	if d := uint64(in.rec.Dep1); d != 0 && d <= in.seq &&
+		m.doneAt[(in.seq-d)%doneWindow] > m.cycle {
+		return false
+	}
+	if d := uint64(in.rec.Dep2); d != 0 && d <= in.seq &&
+		m.doneAt[(in.seq-d)%doneWindow] > m.cycle {
+		return false
 	}
 	return true
 }
@@ -266,11 +297,14 @@ func (m *machine) ready(in *instr) bool {
 func (m *machine) issue() int {
 	issued := 0
 	storeBlocked := false
-	for i := range m.rob {
+	for m.issueHint < m.robLen && m.robAt(m.issueHint).issued {
+		m.issueHint++
+	}
+	for i := m.issueHint; i < m.robLen; i++ {
 		if issued >= m.cfg.IssueWidth {
 			return issued
 		}
-		in := &m.rob[i]
+		in := m.robAt(i)
 		if in.issued || !m.ready(in) {
 			if !in.issued && in.rec.Kind == trace.Store {
 				storeBlocked = true
@@ -330,7 +364,7 @@ func (m *machine) dispatch() {
 		}
 		m.redirectSeq, m.redirectUntil = 0, 0
 	}
-	for n := 0; n < m.cfg.FetchWidth && len(m.rob) < m.cfg.ROB; n++ {
+	for n := 0; n < m.cfg.FetchWidth && m.robLen < m.cfg.ROB; n++ {
 		var rec trace.Record
 		if m.hasPending {
 			rec = m.pending
@@ -350,9 +384,9 @@ func (m *machine) dispatch() {
 		}
 		m.hasPending = false
 		m.seq++
-		in := instr{rec: rec, seq: m.seq, done: unknownDone}
+		*m.robAt(m.robLen) = instr{rec: rec, seq: m.seq, done: unknownDone}
+		m.robLen++
 		m.doneAt[m.seq%doneWindow] = unknownDone
-		m.rob = append(m.rob, in)
 		m.instructions++
 		switch rec.Kind {
 		case trace.Load:

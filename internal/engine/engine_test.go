@@ -14,6 +14,7 @@ import (
 
 	"malec/internal/config"
 	"malec/internal/cpu"
+	"malec/internal/stats"
 )
 
 // stubResult fabricates a distinguishable result for scheduler tests.
@@ -437,7 +438,7 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if back.Cycles != res.Cycles || back.Energy.Total() != res.Energy.Total() {
 		t.Fatalf("round trip changed scalars")
 	}
-	if back.Counters.Get("issue.loads") != res.Counters.Get("issue.loads") {
+	if back.Counters.Get(stats.CtrIssueLoads) != res.Counters.Get(stats.CtrIssueLoads) {
 		t.Fatalf("round trip dropped counters")
 	}
 	data2, err := json.Marshal(back)

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"malec/internal/config"
+	"malec/internal/stats"
 )
 
 // BypassRow compares MALEC with and without run-time cache bypassing on
@@ -43,7 +44,7 @@ func Bypass(opt Options) BypassResult {
 			Benchmark:     b,
 			Time:          float64(byp.Cycles) / float64(plain.Cycles),
 			Energy:        byp.Energy.Total() / plain.Energy.Total(),
-			BypassedFills: byp.Counters.Get("l1.bypassed_fills"),
+			BypassedFills: byp.Counters.Get(stats.CtrL1BypassedFills),
 			FillsPlain:    plain.L1.Fills,
 			FillsBypass:   byp.L1.Fills,
 		})

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"malec/internal/config"
+	"malec/internal/stats"
 	"malec/internal/trace"
 )
 
@@ -118,7 +119,7 @@ func MergeContribution(opt Options) MergeResult {
 			row.Contribution = (float64(nom.Cycles) - float64(mal.Cycles)) / gain
 		}
 		if mal.Loads > 0 {
-			row.MergedLoadFrac = float64(mal.Counters.Get("malec.merged_loads")) /
+			row.MergedLoadFrac = float64(mal.Counters.Get(stats.CtrMalecMergedLoads)) /
 				float64(mal.Loads)
 		}
 		bd := base.Energy.TotalDynamic()

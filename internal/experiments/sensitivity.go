@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"malec/internal/config"
+	"malec/internal/stats"
 )
 
 // Sensitivity experiments for Sec. VI-D, which discusses MALEC's
@@ -115,7 +116,7 @@ func ResultBusSweep(opt Options) BusResult {
 		var merged, loads float64
 		for _, b := range g.Benchmarks {
 			res := g.Results[name][b]
-			merged += float64(res.Counters.Get("malec.merged_loads"))
+			merged += float64(res.Counters.Get(stats.CtrMalecMergedLoads))
 			loads += float64(res.Loads)
 		}
 		out.Rows = append(out.Rows, BusRow{Buses: buses, Time: t,
@@ -176,7 +177,7 @@ func CompareLimitAblation(opt Options) CompareLimitResult {
 		var merged, loads float64
 		for _, b := range g.Benchmarks {
 			res := g.Results[name][b]
-			merged += float64(res.Counters.Get("malec.merged_loads"))
+			merged += float64(res.Counters.Get(stats.CtrMalecMergedLoads))
 			loads += float64(res.Loads)
 		}
 		out.Rows = append(out.Rows, CompareLimitRow{Limit: l, Time: t,
@@ -237,7 +238,7 @@ func MergeWindowAblation(opt Options) MergeWindowResult {
 		var merged, loads float64
 		for _, b := range g.Benchmarks {
 			res := g.Results[name][b]
-			merged += float64(res.Counters.Get("malec.merged_loads"))
+			merged += float64(res.Counters.Get(stats.CtrMalecMergedLoads))
 			loads += float64(res.Loads)
 		}
 		out.Rows = append(out.Rows, MergeWindowRow{WindowBytes: w,

@@ -4,72 +4,9 @@
 package stats
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
-	"sort"
-	"strings"
 )
-
-// Counters is a set of named monotonically increasing event counters.
-type Counters struct {
-	m map[string]uint64
-}
-
-// NewCounters returns an empty counter set.
-func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
-
-// Add increments counter name by n.
-func (c *Counters) Add(name string, n uint64) { c.m[name] += n }
-
-// Inc increments counter name by one.
-func (c *Counters) Inc(name string) { c.m[name]++ }
-
-// Get returns the value of counter name (zero if never touched).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
-
-// Names returns the sorted counter names.
-func (c *Counters) Names() []string {
-	names := make([]string, 0, len(c.m))
-	for k := range c.m {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// Merge adds all counters from other into c.
-func (c *Counters) Merge(other *Counters) {
-	for k, v := range other.m {
-		c.m[k] += v
-	}
-}
-
-// MarshalJSON encodes the counters as a plain name->value object. Keys are
-// emitted in sorted order so identical counter sets serialize to identical
-// bytes, which result caching and determinism tests rely on.
-func (c *Counters) MarshalJSON() ([]byte, error) {
-	return json.Marshal(c.m)
-}
-
-// UnmarshalJSON decodes a name->value object produced by MarshalJSON.
-func (c *Counters) UnmarshalJSON(data []byte) error {
-	m := make(map[string]uint64)
-	if err := json.Unmarshal(data, &m); err != nil {
-		return err
-	}
-	c.m = m
-	return nil
-}
-
-// String renders the counters one per line, sorted by name.
-func (c *Counters) String() string {
-	var b strings.Builder
-	for _, name := range c.Names() {
-		fmt.Fprintf(&b, "%-40s %12d\n", name, c.m[name])
-	}
-	return b.String()
-}
 
 // Histogram is an integer-valued histogram with explicit bucket upper
 // bounds. A sample x falls into the first bucket whose bound is >= x; values

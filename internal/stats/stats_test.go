@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -10,25 +11,118 @@ import (
 
 func TestCounters(t *testing.T) {
 	c := NewCounters()
-	c.Inc("a")
-	c.Add("a", 4)
-	c.Inc("b")
-	if c.Get("a") != 5 || c.Get("b") != 1 || c.Get("missing") != 0 {
-		t.Fatalf("counter values wrong: a=%d b=%d", c.Get("a"), c.Get("b"))
+	c.Inc(CtrL1Fills)
+	c.Add(CtrL1Fills, 4)
+	c.Inc(CtrTLBWalks)
+	if c.Get(CtrL1Fills) != 5 || c.Get(CtrTLBWalks) != 1 || c.Get(CtrSBForwards) != 0 {
+		t.Fatalf("counter values wrong: fills=%d walks=%d", c.Get(CtrL1Fills), c.Get(CtrTLBWalks))
 	}
 	names := c.Names()
-	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+	if len(names) != 2 || names[0] != "l1.fills" || names[1] != "tlb.walks" {
 		t.Fatalf("Names() = %v", names)
 	}
 	other := NewCounters()
-	other.Add("a", 10)
-	other.Add("c", 2)
+	other.Add(CtrL1Fills, 10)
+	other.AddName("custom.counter", 2)
 	c.Merge(other)
-	if c.Get("a") != 15 || c.Get("c") != 2 {
+	if c.Get(CtrL1Fills) != 15 || c.GetName("custom.counter") != 2 {
 		t.Fatal("merge failed")
 	}
-	if !strings.Contains(c.String(), "a") {
+	if !strings.Contains(c.String(), "l1.fills") {
 		t.Fatal("String() missing counter")
+	}
+}
+
+func TestCountersNameAPI(t *testing.T) {
+	c := NewCounters()
+	// Canonical names route to the dense slot.
+	c.IncName("l1.fills")
+	c.AddName("l1.fills", 2)
+	if c.Get(CtrL1Fills) != 3 || c.GetName("l1.fills") != 3 {
+		t.Fatalf("name-keyed access out of sync: id=%d name=%d",
+			c.Get(CtrL1Fills), c.GetName("l1.fills"))
+	}
+	// Non-canonical names land in the overflow map.
+	c.IncName("weird.counter")
+	if c.GetName("weird.counter") != 1 {
+		t.Fatal("overflow counter lost")
+	}
+	if id, ok := CounterByName("l1.fills"); !ok || id != CtrL1Fills {
+		t.Fatalf("CounterByName = %v, %v", id, ok)
+	}
+	if _, ok := CounterByName("weird.counter"); ok {
+		t.Fatal("CounterByName accepted a non-canonical name")
+	}
+	if CtrL1Fills.Name() != "l1.fills" {
+		t.Fatalf("Name() = %q", CtrL1Fills.Name())
+	}
+	if got := len(CounterNames()); got != int(NumCounters) {
+		t.Fatalf("CounterNames() has %d entries, want %d", got, NumCounters)
+	}
+}
+
+// TestCountersZeroValue is the regression test for the nil-map panic: the
+// zero value (and a set decoded from JSON null) must be fully usable.
+func TestCountersZeroValue(t *testing.T) {
+	var c Counters
+	c.Inc(CtrL1Fills)
+	c.Add(CtrTLBWalks, 3)
+	c.IncName("extra.one")
+	c.Merge(NewCounters())
+	c.Merge(nil)
+	if c.Get(CtrL1Fills) != 1 || c.Get(CtrTLBWalks) != 3 || c.GetName("extra.one") != 1 {
+		t.Fatal("zero-value counters lost updates")
+	}
+
+	var null Counters
+	if err := json.Unmarshal([]byte("null"), &null); err != nil {
+		t.Fatalf("unmarshal null: %v", err)
+	}
+	null.Inc(CtrSBForwards) // must not panic
+	null.AddName("after.null", 2)
+	if null.Get(CtrSBForwards) != 1 || null.GetName("after.null") != 2 {
+		t.Fatal("counters decoded from null unusable")
+	}
+}
+
+// TestCountersJSONStable pins the JSON encoding to the historical
+// map-of-names form: touched counters only (even when zero), keys sorted.
+func TestCountersJSONStable(t *testing.T) {
+	c := NewCounters()
+	c.Add(CtrMalecGroupLoads, 0) // touched at zero must still be emitted
+	c.Inc(CtrL1Fills)
+	c.AddName("zz.custom", 7)
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"l1.fills":1,"malec.group_loads":0,"zz.custom":7}`
+	if string(data) != want {
+		t.Fatalf("MarshalJSON = %s, want %s", data, want)
+	}
+
+	var back Counters
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	round, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(round) != want {
+		t.Fatalf("round-trip = %s, want %s", round, want)
+	}
+	if back.Get(CtrL1Fills) != 1 || back.GetName("zz.custom") != 7 {
+		t.Fatal("round-trip lost values")
+	}
+
+	empty := NewCounters()
+	data, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{}" {
+		t.Fatalf("empty MarshalJSON = %s, want {}", data)
 	}
 }
 

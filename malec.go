@@ -51,6 +51,7 @@ import (
 	"malec/internal/cpu"
 	"malec/internal/engine"
 	"malec/internal/experiments"
+	"malec/internal/stats"
 	"malec/internal/trace"
 )
 
@@ -61,6 +62,54 @@ type Config = config.Config
 // Result carries the performance, activity and energy statistics of one
 // simulation run.
 type Result = cpu.Result
+
+// Counters is the typed event-counter set attached to every Result.
+type Counters = stats.Counters
+
+// Counter is a typed event-counter ID. Hot paths count through these IDs;
+// each maps to a canonical dotted name (Counter.Name, CounterByName) used
+// by the JSON encoding and the name-keyed accessors.
+type Counter = stats.Counter
+
+// Typed counter IDs (canonical names in parentheses).
+const (
+	CtrIssueLoads  = stats.CtrIssueLoads  // issue.loads
+	CtrIssueStores = stats.CtrIssueStores // issue.stores
+	CtrIBStalls    = stats.CtrIBStalls    // ib.stalls
+	CtrIBCarried   = stats.CtrIBCarried   // ib.carried
+
+	CtrUTLBLookups = stats.CtrUTLBLookups // tlb.utlb_lookups
+	CtrTLBLookups  = stats.CtrTLBLookups  // tlb.tlb_lookups
+	CtrTLBWalks    = stats.CtrTLBWalks    // tlb.walks
+
+	CtrL1ReducedReads       = stats.CtrL1ReducedReads       // l1.reduced_reads
+	CtrL1ConventionalReads  = stats.CtrL1ConventionalReads  // l1.conventional_reads
+	CtrL1LoadMisses         = stats.CtrL1LoadMisses         // l1.load_misses
+	CtrL1StoreMisses        = stats.CtrL1StoreMisses        // l1.store_misses
+	CtrL1Fills              = stats.CtrL1Fills              // l1.fills
+	CtrL1BypassedFills      = stats.CtrL1BypassedFills      // l1.bypassed_fills
+	CtrL1Writebacks         = stats.CtrL1Writebacks         // l1.writebacks
+	CtrL1ReducedWrites      = stats.CtrL1ReducedWrites      // l1.reduced_writes
+	CtrL1ConventionalWrites = stats.CtrL1ConventionalWrites // l1.conventional_writes
+	CtrL1MSHRStalls         = stats.CtrL1MSHRStalls         // l1.mshr_stalls
+
+	CtrSBForwards  = stats.CtrSBForwards  // sb.forwards
+	CtrMBForwards  = stats.CtrMBForwards  // mb.forwards
+	CtrMBMBEWrites = stats.CtrMBMBEWrites // mb.mbe_writes
+
+	CtrMalecGroups        = stats.CtrMalecGroups        // malec.groups
+	CtrMalecGroupLoads    = stats.CtrMalecGroupLoads    // malec.group_loads
+	CtrMalecMergedLoads   = stats.CtrMalecMergedLoads   // malec.merged_loads
+	CtrMalecBankConflicts = stats.CtrMalecBankConflicts // malec.bank_conflicts
+)
+
+// CounterByName resolves a canonical counter name (e.g. "l1.fills") to its
+// typed ID.
+func CounterByName(name string) (Counter, bool) { return stats.CounterByName(name) }
+
+// CounterNames returns the canonical names of all defined counters in ID
+// order.
+func CounterNames() []string { return stats.CounterNames() }
 
 // Record is one dynamic trace instruction.
 type Record = trace.Record
