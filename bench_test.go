@@ -141,6 +141,37 @@ func BenchmarkSimMALEC(b *testing.B) { benchmarkConfig(b, MALEC()) }
 // WDU exercises a different way-determination bookkeeping path).
 func BenchmarkSimMALECWDU(b *testing.B) { benchmarkConfig(b, MALECWithWDU(16)) }
 
+// Stall-heavy stress benchmarks: stall-dominated workloads (pointer
+// chasing, mispredict storms, TLB thrashing) spend most simulated cycles
+// with nothing in flight making progress, which is exactly what the
+// event-driven cycle skip fast-forwards. These keep the skip win — and any
+// future regression of it — visible; the reported skip rate for each lives
+// in BENCH_core.json.
+func benchmarkStress(b *testing.B, benchmark string) {
+	b.ReportAllocs()
+	var last Result
+	for i := 0; i < b.N; i++ {
+		last = Run(MALEC(), benchmark, benchInstructions, 1)
+		if last.Cycles == 0 {
+			b.Fatal("empty run")
+		}
+	}
+	reportInstrPerSec(b, benchInstructions)
+	b.ReportMetric(last.SkipRate(), "skiprate")
+}
+
+// BenchmarkSimStressPtrchase measures throughput on serialized pointer
+// chasing over a 64 MByte working set (MSHR-chained DRAM misses).
+func BenchmarkSimStressPtrchase(b *testing.B) { benchmarkStress(b, "ptrchase") }
+
+// BenchmarkSimStressBrstorm measures throughput under a mispredict storm
+// (front end mostly resolving redirects and refilling).
+func BenchmarkSimStressBrstorm(b *testing.B) { benchmarkStress(b, "brstorm") }
+
+// BenchmarkSimStressTLBThrash measures throughput under TLB thrashing
+// (page-table walks on most references).
+func BenchmarkSimStressTLBThrash(b *testing.B) { benchmarkStress(b, "tlbthrash") }
+
 // BenchmarkTraceGeneration measures synthetic workload generation.
 func BenchmarkTraceGeneration(b *testing.B) {
 	b.ReportAllocs()

@@ -8,12 +8,21 @@
 //	malecbench -exp fig1,motivation
 //	malecbench -bench gzip,mcf    # restrict the benchmark set
 //	malecbench -throughput        # simulator throughput mode (JSON)
+//	malecbench -throughput -bench ptrchase   # stall-heavy stress profile
+//	malecbench -exp fig4 -cpuprofile cpu.pb.gz -memprofile heap.pb.gz
 //
 // Throughput mode measures the simulator itself instead of the paper's
 // figures: it runs each L1 interface variant on one workload and reports
-// committed instructions per second, wall time and allocations per run as
-// JSON. The committed BENCH_core.json at the repository root records these
-// numbers before and after hot-path changes.
+// committed instructions per second, wall time, allocations per run and
+// cycle-skip telemetry (skipped cycles, jumps, skip rate) as JSON. The
+// committed BENCH_core.json at the repository root records these numbers
+// before and after hot-path changes. Besides the paper's 38 workloads,
+// -bench accepts the stall-heavy stress profiles (ptrchase, brstorm,
+// tlbthrash) the cycle-skipping fast-forward targets.
+//
+// -cpuprofile and -memprofile write standard pprof profiles of the whole
+// invocation (any mode), so perf work can attach evidence without ad-hoc
+// patching: `go tool pprof malecbench cpu.pb.gz`.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,6 +39,7 @@ import (
 	"malec/internal/cpu"
 	"malec/internal/engine"
 	"malec/internal/experiments"
+	"malec/internal/stats"
 )
 
 // throughputRow is one interface variant's measurement in -throughput mode.
@@ -40,6 +51,12 @@ type throughputRow struct {
 	BytesPerRun  uint64  `json:"bytes_per_run"`
 	Cycles       uint64  `json:"cycles"`
 	IPC          float64 `json:"ipc"`
+	// Cycle-skip telemetry: how many simulated cycles the event-driven
+	// fast-forward jumped over (and in how many jumps), and the resulting
+	// fraction of all cycles. Zero when skipping is disabled.
+	SkippedCycles uint64  `json:"skipped_cycles"`
+	SkipJumps     uint64  `json:"skip_jumps"`
+	SkipRate      float64 `json:"skip_rate"`
 }
 
 // throughputReport is the JSON document -throughput mode prints.
@@ -80,7 +97,7 @@ func runThroughput(benchmark string, instructions int, seed uint64, runs int) th
 			}
 		}
 		runtime.ReadMemStats(&after)
-		rep.Configs = append(rep.Configs, throughputRow{
+		row := throughputRow{
 			Config:       cfg.Name,
 			NsPerRun:     best.Nanoseconds(),
 			InstrPerSec:  float64(last.Instructions) / best.Seconds(),
@@ -88,12 +105,23 @@ func runThroughput(benchmark string, instructions int, seed uint64, runs int) th
 			BytesPerRun:  (after.TotalAlloc - before.TotalAlloc) / uint64(runs),
 			Cycles:       last.Cycles,
 			IPC:          last.IPC(),
-		})
+			SkipRate:     last.SkipRate(),
+		}
+		if last.Telemetry != nil {
+			row.SkippedCycles = last.Telemetry.Get(stats.CtrSkippedCycles)
+			row.SkipJumps = last.Telemetry.Get(stats.CtrSkipJumps)
+		}
+		rep.Configs = append(rep.Configs, row)
 	}
 	return rep
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body with an exit code return instead of os.Exit calls, so
+// the deferred profile writers (pprof.StopCPUProfile, the heap snapshot)
+// always flush before the process exits, whatever path ends the run.
+func run() (code int) {
 	var (
 		exps       = flag.String("exp", "all", "comma-separated experiments: tab1,tab2,motivation,fig1,fig4,wdu,coverage,merge,wayconstraint,latency,buses,comparelimit,mergewindow,segmented,bypass")
 		n          = flag.Int("n", 300000, "instructions per benchmark")
@@ -104,8 +132,40 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress notes on stderr")
 		throughput = flag.Bool("throughput", false, "measure simulator throughput instead of regenerating figures; prints JSON")
 		tputRuns   = flag.Int("throughput-runs", 3, "timed runs per configuration in -throughput mode")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "malecbench: -cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "malecbench: -cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "malecbench: -memprofile:", err)
+				code = 1
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "malecbench: -memprofile:", err)
+				code = 1
+			}
+		}()
+	}
 
 	if *throughput {
 		benchmark := "gzip"
@@ -116,10 +176,10 @@ func main() {
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "malecbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(string(out))
-		return
+		return 0
 	}
 
 	// All experiments share one engine, so simulation points common to
@@ -136,7 +196,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	run := func(name string, f func() string) {
+	runExp := func(name string, f func() string) {
 		if !all && !want[name] {
 			return
 		}
@@ -148,28 +208,29 @@ func main() {
 		fmt.Println(out)
 	}
 
-	run("tab1", experiments.Table1)
-	run("tab2", experiments.Table2)
-	run("motivation", func() string { return experiments.Motivation(opt).Table() })
-	run("fig1", func() string { return experiments.Fig1(opt).Table() })
-	run("fig4", func() string {
+	runExp("tab1", experiments.Table1)
+	runExp("tab2", experiments.Table2)
+	runExp("motivation", func() string { return experiments.Motivation(opt).Table() })
+	runExp("fig1", func() string { return experiments.Fig1(opt).Table() })
+	runExp("fig4", func() string {
 		r := experiments.Fig4(opt)
 		return r.TimeTable() + "\n" + r.EnergyTable()
 	})
-	run("wdu", func() string { return experiments.WDUComparison(opt).Table() })
-	run("coverage", func() string { return experiments.CoverageAblation(opt).Table() })
-	run("merge", func() string { return experiments.MergeContribution(opt).Table() })
-	run("wayconstraint", func() string { return experiments.WayConstraint(opt).Table() })
-	run("latency", func() string { return experiments.LatencySensitivity(opt).Table() })
-	run("buses", func() string { return experiments.ResultBusSweep(opt).Table() })
-	run("comparelimit", func() string { return experiments.CompareLimitAblation(opt).Table() })
-	run("mergewindow", func() string { return experiments.MergeWindowAblation(opt).Table() })
-	run("segmented", func() string { return experiments.SegmentedWT(opt).Table() })
-	run("bypass", func() string { return experiments.Bypass(opt).Table() })
+	runExp("wdu", func() string { return experiments.WDUComparison(opt).Table() })
+	runExp("coverage", func() string { return experiments.CoverageAblation(opt).Table() })
+	runExp("merge", func() string { return experiments.MergeContribution(opt).Table() })
+	runExp("wayconstraint", func() string { return experiments.WayConstraint(opt).Table() })
+	runExp("latency", func() string { return experiments.LatencySensitivity(opt).Table() })
+	runExp("buses", func() string { return experiments.ResultBusSweep(opt).Table() })
+	runExp("comparelimit", func() string { return experiments.CompareLimitAblation(opt).Table() })
+	runExp("mergewindow", func() string { return experiments.MergeWindowAblation(opt).Table() })
+	runExp("segmented", func() string { return experiments.SegmentedWT(opt).Table() })
+	runExp("bypass", func() string { return experiments.Bypass(opt).Table() })
 
 	if !*quiet {
 		s := eng.Stats()
 		fmt.Fprintf(os.Stderr, "[engine: %d simulations, %d memory hits, %d disk hits, %d deduplicated]\n",
 			s.Simulations, s.Hits, s.DiskHits, s.Dedup)
 	}
+	return 0
 }

@@ -63,6 +63,12 @@ func (b *MergeBuffer) Len() int { return b.eN }
 // PendingMBEs returns the number of evicted entries awaiting L1 writes.
 func (b *MergeBuffer) PendingMBEs() int { return b.pN }
 
+// HasDeferredWork reports whether evicted MBEs are awaiting their L1
+// writes. Live (still mergeable) entries are not deferred work: they leave
+// the buffer only in response to new stores or an explicit Drain, never by
+// the passage of cycles.
+func (b *MergeBuffer) HasDeferredWork() bool { return b.pN > 0 }
+
 // Stats returns a copy of the activity counters.
 func (b *MergeBuffer) Stats() MBStats { return b.stats }
 

@@ -57,6 +57,13 @@ func (b *StoreBuffer) Len() int { return b.n }
 // Full reports whether the buffer can accept no more stores.
 func (b *StoreBuffer) Full() bool { return b.n >= len(b.entries) }
 
+// HasCommittedHead reports whether the oldest store has committed and is
+// waiting to drain into the merge buffer — deferred work: DrainCommitted
+// will act on it (or count a commit stall) every cycle until it moves.
+func (b *StoreBuffer) HasCommittedHead() bool {
+	return b.n > 0 && b.entries[b.head].Committed
+}
+
 // Stats returns a copy of the activity counters.
 func (b *StoreBuffer) Stats() SBStats { return b.stats }
 

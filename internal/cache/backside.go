@@ -132,3 +132,12 @@ func (b *Backside) Miss(pa mem.Addr) int {
 
 // Writeback forwards a dirty L1 victim to the L2.
 func (b *Backside) Writeback(pa mem.Addr) { b.L2.Writeback(pa) }
+
+// HasDeferredWork reports whether the backside holds work that completes in
+// a later cycle on its own. The L2 and DRAM models are synchronous — Miss
+// returns its full latency immediately and schedules nothing, with
+// MSHR-induced waits folded into the requesting load's completion time —
+// so there is never deferred work here. The predicate is part of the
+// cycle-skipping contract (core.System nextWork) and keeps that logic
+// correct if a future change makes the backside event-driven.
+func (b *Backside) HasDeferredWork() bool { return false }

@@ -96,6 +96,14 @@ type Config struct {
 	// MSHRs bounds outstanding L1 misses (miss status holding
 	// registers); further misses stall until one retires.
 	MSHRs int
+	// DisableCycleSkip forces the plain cycle-by-cycle simulation loop,
+	// turning off the event-driven fast-forward over stalled cycles. The
+	// fast-forward is a host-simulator optimization that never alters
+	// simulated timing, energy or statistics (differentially tested); this
+	// escape hatch exists for debugging and A/B measurement. The
+	// MALEC_NO_CYCLE_SKIP environment variable (any non-empty value) has
+	// the same effect.
+	DisableCycleSkip bool
 	// Bypass enables run-time cache bypassing (Sec. VI-D): loads to
 	// pages classified as streaming skip L1 allocation and way-table
 	// maintenance.

@@ -14,7 +14,10 @@ type Base1 struct {
 	sys *System
 
 	aguUsed bool
-	pending []Request // at most one load awaiting service next Tick
+	// pending is the single load awaiting service next Tick; the one
+	// address computation unit (aguUsed) admits at most one per cycle.
+	pending    Request
+	hasPending bool
 }
 
 // NewBase1 builds a Base1ldst interface for cfg.
@@ -41,7 +44,8 @@ func (b *Base1) TryIssue(r Request) bool {
 		b.aguUsed = true
 		return true
 	}
-	b.pending = append(b.pending, r)
+	b.pending = r
+	b.hasPending = true
 	b.sys.Ctr.Inc(stats.CtrIssueLoads)
 	b.aguUsed = true
 	return true
@@ -56,9 +60,9 @@ func (b *Base1) Tick() []Completion {
 	b.sys.drainStores()
 
 	l1PortUsed := false
-	if len(b.pending) > 0 {
-		r := b.pending[0]
-		b.pending = b.pending[:0]
+	if b.hasPending {
+		r := b.pending
+		b.hasPending = false
 		res := b.sys.translate(r.VA.Page())
 		pa := mem.MakeAddr(res.PPage, r.VA.PageOffset())
 		lat := b.sys.Cfg.L1Latency + res.Latency
@@ -85,13 +89,27 @@ func (b *Base1) Tick() []Completion {
 }
 
 // Pending implements Interface.
-func (b *Base1) Pending() int { return b.sys.Pending() + len(b.pending) }
+func (b *Base1) Pending() int {
+	n := b.sys.Pending()
+	if b.hasPending {
+		n++
+	}
+	return n
+}
 
 // Flush implements Interface.
 func (b *Base1) Flush() { b.sys.Flush() }
 
 // Idle implements Interface.
-func (b *Base1) Idle() bool { return b.sys.Idle() && len(b.pending) == 0 }
+func (b *Base1) Idle() bool { return b.sys.Idle() && !b.hasPending }
+
+// NextWork implements Interface.
+func (b *Base1) NextWork(now int64) int64 {
+	if b.hasPending {
+		return now + 1
+	}
+	return b.sys.nextWork(now)
+}
 
 // Meter implements Interface.
 func (b *Base1) Meter() *energy.Meter { return b.sys.MeterV }

@@ -99,6 +99,14 @@ func (b *Base2) Flush() { b.sys.Flush() }
 // Idle implements Interface.
 func (b *Base2) Idle() bool { return b.sys.Idle() && len(b.pending) == 0 }
 
+// NextWork implements Interface.
+func (b *Base2) NextWork(now int64) int64 {
+	if len(b.pending) > 0 {
+		return now + 1
+	}
+	return b.sys.nextWork(now)
+}
+
 // Meter implements Interface.
 func (b *Base2) Meter() *energy.Meter { return b.sys.MeterV }
 

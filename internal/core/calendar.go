@@ -1,5 +1,12 @@
 package core
 
+import "math"
+
+// NoWork is the sentinel returned by calendar.next and Interface.NextWork
+// when nothing is scheduled. It is far enough below the int64 range that
+// callers can add latencies to it without wrapping.
+const NoWork int64 = math.MaxInt64 / 4
+
 // calendar is a ring-buffer calendar queue mapping future cycles to the
 // loads completing then. It replaces the map[int64][]Completion the
 // scheduler used to allocate into on every load: slots are addressed by
@@ -10,9 +17,15 @@ package core
 // current one and within capacity cycles of it (schedule grows the ring on
 // the rare occasion a completion lands beyond the horizon), so a slot is
 // always drained by take before a later cycle can map onto it.
+//
+// Occupancy is tracked alongside: each slot's population is the length of
+// its slice, and events counts the scheduled completions across all slots,
+// letting next answer "when is the earliest future completion?" without
+// scanning an empty ring.
 type calendar struct {
-	slots [][]Completion
-	mask  int64
+	slots  [][]Completion
+	mask   int64
+	events int // scheduled completions not yet taken
 }
 
 // slotCap is the pre-allocated per-slot capacity. Four matches the result
@@ -49,6 +62,7 @@ func (q *calendar) schedule(now, at int64, c Completion) {
 	}
 	i := at & q.mask
 	q.slots[i] = append(q.slots[i], c)
+	q.events++
 }
 
 // grow enlarges the ring so that at fits within the horizon, rehoming the
@@ -79,6 +93,30 @@ func (q *calendar) take(cycle int64) []Completion {
 	due := q.slots[i]
 	if len(due) > 0 {
 		q.slots[i] = due[:0]
+		q.events -= len(due)
 	}
 	return due
+}
+
+// population returns the number of completions scheduled for the given
+// cycle (the slot's current population).
+func (q *calendar) population(cycle int64) int {
+	return len(q.slots[cycle&q.mask])
+}
+
+// next returns the cycle of the earliest completion scheduled strictly
+// after now, or NoWork when the calendar is empty. By the scheduling
+// invariant every live event lies within (now, now+len), so the scan walks
+// forward from now+1 and stops at the first populated slot — its cost is
+// the distance to the next event, not the ring size.
+func (q *calendar) next(now int64) int64 {
+	if q.events == 0 {
+		return NoWork
+	}
+	for k := int64(1); k < int64(len(q.slots)); k++ {
+		if len(q.slots[(now+k)&q.mask]) > 0 {
+			return now + k
+		}
+	}
+	return NoWork
 }

@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"malec/internal/config"
+)
 
 // TestCalendarGrow exercises the ring growth path: events scheduled beyond
 // the initial horizon must survive the rehoming.
@@ -45,5 +49,82 @@ func TestCalendarSlotReuse(t *testing.T) {
 		}
 		// Consume duplicates: each cycle may receive several events.
 		_ = due
+	}
+}
+
+// TestCalendarNext checks the occupancy tracking behind the cycle-skipping
+// fast-forward: next must report the earliest populated slot strictly after
+// now, stay correct across take and grow, and return NoWork on an empty
+// calendar.
+func TestCalendarNext(t *testing.T) {
+	q := newCalendar(1) // 64 slots
+	var now int64
+	if got := q.next(now); got != NoWork {
+		t.Fatalf("empty calendar: next = %d, want NoWork", got)
+	}
+	q.schedule(now, 40, Completion{Seq: 40})
+	q.schedule(now, 12, Completion{Seq: 12})
+	q.schedule(now, 12, Completion{Seq: 13})
+	if got := q.next(now); got != 12 {
+		t.Fatalf("next = %d, want 12", got)
+	}
+	if got := q.population(12); got != 2 {
+		t.Fatalf("population(12) = %d, want 2", got)
+	}
+	// Draining the nearer slot must move the bound to the farther one.
+	for now < 12 {
+		now++
+		q.take(now)
+	}
+	if got := q.next(now); got != 40 {
+		t.Fatalf("after draining cycle 12: next = %d, want 40", got)
+	}
+	// Growth must carry occupancy: schedule beyond the horizon and verify
+	// the rehomed events are still found.
+	q.schedule(now, 500, Completion{Seq: 500}) // forces grow
+	if got := q.next(now); got != 40 {
+		t.Fatalf("after grow: next = %d, want 40", got)
+	}
+	for now < 40 {
+		now++
+		q.take(now)
+	}
+	if got := q.next(now); got != 500 {
+		t.Fatalf("after draining cycle 40: next = %d, want 500", got)
+	}
+	now = 500
+	q.take(now)
+	if got := q.next(now); got != NoWork {
+		t.Fatalf("drained calendar: next = %d, want NoWork", got)
+	}
+}
+
+// TestSystemNextWorkAndSkipTo checks the System-level fold: the calendar
+// bound surfaces through nextWork, SkipTo never moves backwards, and a
+// skipped-over range leaves scheduled completions intact.
+func TestSystemNextWorkAndSkipTo(t *testing.T) {
+	s := NewSystem(config.MALEC())
+	if got := s.nextWork(s.Cycle()); got != NoWork {
+		t.Fatalf("idle system: nextWork = %d, want NoWork", got)
+	}
+	s.schedule(1, s.Cycle()+30)
+	if got := s.nextWork(s.Cycle()); got != s.Cycle()+30 {
+		t.Fatalf("nextWork = %d, want %d", got, s.Cycle()+30)
+	}
+	target := s.Cycle() + 29
+	s.SkipTo(target)
+	if s.Cycle() != target {
+		t.Fatalf("SkipTo landed at %d, want %d", s.Cycle(), target)
+	}
+	s.SkipTo(target - 10) // must not rewind
+	if s.Cycle() != target {
+		t.Fatalf("SkipTo rewound to %d", s.Cycle())
+	}
+	due := s.advance()
+	if len(due) != 1 || due[0].Seq != 1 {
+		t.Fatalf("completion lost across skip: %v", due)
+	}
+	if got := s.nextWork(s.Cycle()); got != NoWork {
+		t.Fatalf("drained system: nextWork = %d, want NoWork", got)
 	}
 }

@@ -52,6 +52,15 @@ type Interface interface {
 	Flush()
 	// Idle reports whether all internal buffers and queues are empty.
 	Idle() bool
+	// NextWork reports the earliest cycle strictly after now at which the
+	// interface has work to do or state that changes with time: a
+	// scheduled load completion, a buffered load awaiting service, a
+	// committed store waiting to drain, or an evicted merge-buffer entry
+	// awaiting its L1 write. It returns now+1 when work is immediately
+	// pending and NoWork when the interface is fully drained. The
+	// cycle-skipping core loop fast-forwards stalled stretches to the
+	// reported cycle; Ticks over the skipped range are guaranteed no-ops.
+	NextWork(now int64) int64
 
 	// Meter exposes the energy meter for final accounting.
 	Meter() *energy.Meter
@@ -211,6 +220,33 @@ func (s *System) schedule(seq uint64, at int64) {
 
 // Pending returns in-flight load count.
 func (s *System) Pending() int { return s.pending }
+
+// nextWork folds the shared structures' deferred-work state into one
+// next-event bound: committed stores awaiting their drain into the merge
+// buffer (DrainCommitted acts — or counts a commit stall — every cycle
+// while one is at the head), evicted MBEs awaiting an L1 write (serviced
+// once per cycle), deferred backside work, and otherwise the calendar's
+// next scheduled completion. Interface variants fold their own buffered
+// requests on top.
+func (s *System) nextWork(now int64) int64 {
+	if s.SB.HasCommittedHead() || s.MB.HasDeferredWork() || s.Back.HasDeferredWork() {
+		return now + 1
+	}
+	return s.cal.next(now)
+}
+
+// SkipTo advances the current cycle directly to cycle without ticking
+// through the range in between. Callers (the cycle-skipping core loop)
+// guarantee via NextWork that the skipped cycles hold no scheduled
+// completions and no deferred buffer work, so the jump is invisible to the
+// simulated machine; because jumps never pass the next scheduled
+// completion, the calendar's lap invariant (every slot is drained before
+// its cycle comes around again) is preserved.
+func (s *System) SkipTo(cycle int64) {
+	if cycle > s.cycle {
+		s.cycle = cycle
+	}
+}
 
 // translate resolves one virtual page through the TLB hierarchy, charging
 // the appropriate lookup energies, and returns the physical page plus extra

@@ -275,6 +275,17 @@ func (m *Malec) Flush() { m.sys.Flush() }
 // Idle implements Interface.
 func (m *Malec) Idle() bool { return m.sys.Idle() && len(m.ib) == 0 }
 
+// NextWork implements Interface. A non-empty input buffer means the next
+// serviceGroup performs a translation and arbitration round (and a pending
+// MBE additionally ages mbeWait), so any carried load pins work to the very
+// next cycle; otherwise the shared-structure bound applies.
+func (m *Malec) NextWork(now int64) int64 {
+	if len(m.ib) > 0 {
+		return now + 1
+	}
+	return m.sys.nextWork(now)
+}
+
 // Meter implements Interface.
 func (m *Malec) Meter() *energy.Meter { return m.sys.MeterV }
 

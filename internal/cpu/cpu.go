@@ -10,6 +10,7 @@ package cpu
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"malec/internal/buffers"
 	"malec/internal/cache"
@@ -79,6 +80,24 @@ type Result struct {
 	CoverageTotal uint64
 
 	Counters *stats.Counters
+
+	// Telemetry carries host-simulator counters (cycle-skip activity:
+	// stats.CtrSkippedCycles, stats.CtrSkipJumps). They describe how the
+	// simulator executed, not what the simulated machine did, and are
+	// excluded from the JSON encoding so semantic results — golden files,
+	// cached campaign exports — are byte-identical whether cycle skipping
+	// was on or off.
+	Telemetry *stats.Counters `json:"-"`
+}
+
+// SkipRate returns the fraction of simulated cycles that were fast-forwarded
+// rather than executed (0 when telemetry is absent, e.g. on results decoded
+// from a disk cache).
+func (r Result) SkipRate() float64 {
+	if r.Telemetry == nil || r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Telemetry.Get(stats.CtrSkippedCycles)) / float64(r.Cycles)
 }
 
 // IPC returns instructions per cycle.
@@ -148,6 +167,13 @@ type machine struct {
 	// the front-end refill penalty (redirectUntil).
 	redirectSeq   uint64
 	redirectUntil int64
+
+	// skipDisabled forces the plain cycle-by-cycle loop (escape hatch for
+	// differential testing and debugging); skippedCycles/skipJumps count
+	// the fast-forward activity for Result.Telemetry.
+	skipDisabled  bool
+	skippedCycles uint64
+	skipJumps     uint64
 }
 
 // frontendRefill is the pipeline refill penalty after a branch
@@ -163,7 +189,9 @@ func Run(cfg config.Config, benchmark string, src Source) Result {
 	}
 	m := &machine{cfg: cfg, iface: core.New(cfg), src: src,
 		lq:  buffers.NewLoadQueue(cfg.LQ),
-		rob: make([]instr, robCap), robMask: uint64(robCap - 1)}
+		rob: make([]instr, robCap), robMask: uint64(robCap - 1),
+		skipDisabled: cfg.DisableCycleSkip ||
+			os.Getenv("MALEC_NO_CYCLE_SKIP") != ""}
 	for i := range m.doneAt {
 		m.doneAt[i] = 0 // pre-history: always ready
 	}
@@ -218,7 +246,94 @@ func (m *machine) run() {
 				return
 			}
 		}
+		if !progressed && !m.skipDisabled {
+			m.trySkip()
+		}
 	}
+}
+
+// trySkip fast-forwards a stalled stretch. After a cycle in which nothing
+// drained, retired, issued or dispatched, the machine state is frozen: the
+// only thing that can unfreeze it is the passage of cycles reaching a
+// bound that is already known — the next scheduled load completion
+// (interface calendar), the end of the mispredict refill, or a completion
+// time recorded in the ROB gating a retire or a dependent's readiness.
+// Jumping the cycle counters straight to the earliest such bound is
+// therefore semantically invisible: every skipped cycle would have been a
+// pure no-op, and the interface guarantees (NextWork) that its Ticks over
+// the skipped range do nothing but advance the cycle. When the bound is
+// conservative the landing cycle may stall again, costing only another
+// jump; when no bound exists (NoWork) the machine is deadlocked and the
+// stall detector in run is left to diagnose it.
+func (m *machine) trySkip() {
+	next := m.iface.NextWork(m.cycle)
+	if t := m.nextCoreWork(); t < next {
+		next = t
+	}
+	if next <= m.cycle+1 || next >= core.NoWork {
+		return
+	}
+	m.skippedCycles += uint64(next - 1 - m.cycle)
+	m.skipJumps++
+	// Land one cycle short: the loop increments both counters into the
+	// target cycle, so Tick drains the calendar slot exactly as the plain
+	// loop would have.
+	m.cycle = next - 1
+	m.iface.System().SkipTo(m.cycle)
+}
+
+// nextCoreWork returns the earliest future cycle at which the core side can
+// make progress on its own: the mispredict refill expiring, or a concrete
+// completion time already recorded in the ROB (an issued op's done cycle
+// gates both its in-order retirement and the readiness of its dependents).
+// In-flight loads have unknown completion times and contribute no bound —
+// they are gated on the interface calendar instead.
+func (m *machine) nextCoreWork() int64 {
+	next := core.NoWork
+	if m.redirectSeq != 0 {
+		if m.redirectUntil != 0 {
+			if m.redirectUntil > m.cycle && m.redirectUntil < next {
+				next = m.redirectUntil
+			}
+		} else if done := m.doneAt[m.redirectSeq%doneWindow]; done < unknownDone {
+			// Not resolved from dispatch's point of view yet; the refill
+			// window is done+frontendRefill regardless of which cycle
+			// first observes the resolution, so bound there directly.
+			if t := done + frontendRefill; t > m.cycle && t < next {
+				next = t
+			}
+		}
+	}
+	for i := 0; i < m.robLen; i++ {
+		in := m.robAt(i)
+		if in.issued {
+			if in.done > m.cycle && in.done < unknownDone && in.done < next {
+				next = in.done
+			}
+			continue
+		}
+		// Unissued: becomes ready when its last producer completes.
+		ready := int64(0)
+		unknown := false
+		if d := uint64(in.rec.Dep1); d != 0 && d <= in.seq {
+			if v := m.doneAt[(in.seq-d)%doneWindow]; v >= unknownDone {
+				unknown = true
+			} else if v > ready {
+				ready = v
+			}
+		}
+		if d := uint64(in.rec.Dep2); d != 0 && d <= in.seq {
+			if v := m.doneAt[(in.seq-d)%doneWindow]; v >= unknownDone {
+				unknown = true
+			} else if v > ready {
+				ready = v
+			}
+		}
+		if !unknown && ready > m.cycle && ready < next {
+			next = ready
+		}
+	}
+	return next
 }
 
 // stateDump renders the stalled machine state for deadlock diagnostics.
@@ -409,7 +524,11 @@ func (m *machine) dispatch() {
 func (m *machine) result(benchmark string) Result {
 	sys := m.iface.System()
 	known, total := sys.Det.Coverage()
+	tel := stats.NewCounters()
+	tel.Add(stats.CtrSkippedCycles, m.skippedCycles)
+	tel.Add(stats.CtrSkipJumps, m.skipJumps)
 	return Result{
+		Telemetry:     tel,
 		Config:        m.cfg.Name,
 		Benchmark:     benchmark,
 		Cycles:        uint64(m.cycle),

@@ -45,6 +45,18 @@ func TestKeyDistinguishesConfigs(t *testing.T) {
 	}
 }
 
+func TestKeyIgnoresHostSimulatorToggles(t *testing.T) {
+	// DisableCycleSkip changes how the simulator executes, never what it
+	// computes (differentially tested at the root), so skip-on and
+	// skip-off runs must content-address to the same cache entry.
+	on := config.MALEC()
+	off := config.MALEC()
+	off.DisableCycleSkip = true
+	if KeyFor(on, "gzip", 1000, 1) != KeyFor(off, "gzip", 1000, 1) {
+		t.Fatalf("host-simulator toggle changed the content digest")
+	}
+}
+
 func TestMemoryCacheHit(t *testing.T) {
 	var calls atomic.Int64
 	e := New(Options{Simulate: func(cfg config.Config, b string, n int, s uint64) cpu.Result {

@@ -37,8 +37,13 @@ func KeyFor(cfg config.Config, benchmark string, instructions int, seed uint64) 
 // ConfigDigest returns the content digest of a configuration: SHA-256 over
 // its canonical JSON encoding, truncated to 16 hex characters. Every field
 // of config.Config is exported, so the JSON encoding covers the complete
-// machine description in fixed struct order.
+// machine description in fixed struct order. Host-simulator toggles that
+// never change simulated results are normalized out first, so e.g. skip-on
+// and skip-off runs of the same machine share one cache entry.
 func ConfigDigest(cfg config.Config) string {
+	// Cycle skipping is semantically invisible (differentially tested);
+	// it must not split the content address.
+	cfg.DisableCycleSkip = false
 	enc, err := json.Marshal(cfg)
 	if err != nil {
 		// config.Config contains only plain scalar fields; Marshal

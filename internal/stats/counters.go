@@ -52,6 +52,14 @@ const (
 	CtrMalecMergedLoads
 	CtrMalecBankConflicts
 
+	// Host-simulator telemetry: cycle-skipping fast-forward activity.
+	// These describe the simulator, not the simulated machine, and are
+	// reported through Result.Telemetry rather than the per-run event
+	// counters (cycle skipping never changes simulated behaviour, so the
+	// semantic Result stays byte-identical whether it is on or off).
+	CtrSkippedCycles
+	CtrSkipJumps
+
 	// NumCounters is the number of defined counter IDs (array length for
 	// dense per-counter storage).
 	NumCounters
@@ -88,6 +96,9 @@ var counterNames = [NumCounters]string{
 	CtrMalecGroupLoads:    "malec.group_loads",
 	CtrMalecMergedLoads:   "malec.merged_loads",
 	CtrMalecBankConflicts: "malec.bank_conflicts",
+
+	CtrSkippedCycles: "sim.skipped_cycles",
+	CtrSkipJumps:     "sim.skip_jumps",
 }
 
 // counterIDs is the inverse of counterNames, for the name-keyed API and

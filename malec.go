@@ -101,6 +101,11 @@ const (
 	CtrMalecGroupLoads    = stats.CtrMalecGroupLoads    // malec.group_loads
 	CtrMalecMergedLoads   = stats.CtrMalecMergedLoads   // malec.merged_loads
 	CtrMalecBankConflicts = stats.CtrMalecBankConflicts // malec.bank_conflicts
+
+	// Host-simulator telemetry counters, reported via Result.Telemetry:
+	// cycle-skipping fast-forward activity (see README "Cycle skipping").
+	CtrSkippedCycles = stats.CtrSkippedCycles // sim.skipped_cycles
+	CtrSkipJumps     = stats.CtrSkipJumps     // sim.skip_jumps
 )
 
 // CounterByName resolves a canonical counter name (e.g. "l1.fills") to its
@@ -220,6 +225,14 @@ func Benchmarks() []string { return trace.AllBenchmarks() }
 // BenchmarksOf returns the benchmark names of one suite: "spec-int",
 // "spec-fp" or "mb2".
 func BenchmarksOf(suite string) []string { return trace.Benchmarks[suite] }
+
+// StressBenchmarks returns the names of the stall-heavy stress workloads
+// (pointer chasing, mispredict storm, TLB thrashing). They are runnable
+// like any benchmark but excluded from Benchmarks, which lists only the
+// paper's 38-workload reporting set.
+func StressBenchmarks() []string {
+	return append([]string(nil), trace.StressBenchmarks...)
+}
 
 // ProfileOf returns the generator profile of a named benchmark and whether
 // it exists.
