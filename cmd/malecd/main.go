@@ -32,13 +32,15 @@ func main() {
 		maxInstr = flag.Int("max-instructions", 5_000_000, "per-request instruction limit")
 		maxJobs  = flag.Int("max-sweep-jobs", 4096, "per-sweep expanded job limit")
 		maxCache = flag.Int("max-cache-entries", 1<<14, "in-memory result cache bound (oldest evicted; 0 = unbounded)")
+		traceRec = flag.Int("trace-cache", 0, "materialized-trace cache bound in records shared across configs (0 = default, negative = regenerate traces per simulation)")
 	)
 	flag.Parse()
 
 	eng := engine.New(engine.Options{
-		Workers:         *workers,
-		CacheDir:        *cacheDir,
-		MaxCacheEntries: *maxCache,
+		Workers:           *workers,
+		CacheDir:          *cacheDir,
+		MaxCacheEntries:   *maxCache,
+		TraceCacheRecords: *traceRec,
 	})
 	handler := server.New(eng, server.Options{
 		MaxInstructions: *maxInstr,

@@ -104,6 +104,15 @@ type Config struct {
 	// MALEC_NO_CYCLE_SKIP environment variable (any non-empty value) has
 	// the same effect.
 	DisableCycleSkip bool
+	// DisableWakeup forces the scan-based issue path: instead of
+	// producers waking their registered dependents on completion and
+	// issue draining an age-ordered ready set, every cycle rescans the
+	// in-flight window with per-entry readiness checks. Like
+	// DisableCycleSkip this is a host-simulator toggle that never alters
+	// simulated results (differentially tested) and exists for debugging
+	// and A/B measurement; the MALEC_NO_WAKEUP environment variable (any
+	// non-empty value) has the same effect.
+	DisableWakeup bool
 	// Bypass enables run-time cache bypassing (Sec. VI-D): loads to
 	// pages classified as streaming skip L1 allocation and way-table
 	// maintenance.

@@ -10,6 +10,7 @@ package cpu
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"os"
 
 	"malec/internal/buffers"
@@ -145,12 +146,49 @@ type machine struct {
 	robHead uint64 // ring index of the oldest instruction
 	robLen  int
 	// issueHint is the number of leading ROB entries known to be issued;
-	// the issue scan starts there instead of at the head. Entries never
-	// un-issue, so the prefix only shrinks when retire pops the head.
+	// the escape-hatch issue scan starts there instead of at the head.
+	// Entries never un-issue, so the prefix only shrinks when retire pops
+	// the head.
 	issueHint int
 	doneAt    [doneWindow]int64
 	seq       uint64
 	cycle     int64
+	// depLimit bounds dependency distances: a producer further back would
+	// alias a younger instruction's doneAt slot while the consumer is
+	// still in flight, silently corrupting completion times. Dispatch
+	// panics past it.
+	depLimit uint64
+
+	// wake enables the producer->consumer wakeup scheduler (the default):
+	// a completing producer marks its dependents ready directly, so issue
+	// drains an age-ordered ready set instead of rescanning the ROB every
+	// cycle. The scan path is kept behind Config.DisableWakeup /
+	// MALEC_NO_WAKEUP=1 as the differential reference and debugging aid.
+	wake bool
+	// readyMask holds one bit per ROB slot, set while the slot holds an
+	// unissued instruction with no pending producers; issue walks the set
+	// bits in age order (slots are assigned in sequence order, so slot
+	// order from the head is age order).
+	readyMask []uint64
+	// readyAt[slot] is the earliest cycle the slot's instruction may
+	// issue; meaningful once pendingDeps[slot] is zero.
+	readyAt []int64
+	// pendingDeps[slot] counts producers whose completion time is still
+	// unknown; the slot enters the ready mask when it reaches zero.
+	pendingDeps []uint8
+	// wakeHead[slot] and wakeNext form the per-producer wakeup lists:
+	// wakeHead is the producer's first node (-1 when empty) and node j
+	// (= consumer slot * 2 + dep index) links to wakeNext[j]. The slab is
+	// fixed at Run: an instruction has at most two producers, so two
+	// nodes per slot always suffice, and steady state allocates nothing.
+	wakeHead []int32
+	wakeNext []int32
+	// storeSeqs is a ring of the sequence numbers of unissued stores in
+	// program order; only its head may issue, which keeps stores ordered
+	// among themselves without scanning for older unissued stores.
+	storeSeqs  []uint64
+	storeQHead uint64
+	storeQTail uint64
 
 	instructions uint64
 	loads        uint64
@@ -181,8 +219,20 @@ type machine struct {
 const frontendRefill = 20
 
 // Run simulates src to completion on the machine described by cfg and
-// returns the collected results.
+// returns the collected results. It panics if the ROB is too large for the
+// completion-time window: completion times are kept in a doneWindow-entry
+// ring indexed by sequence number, and the aliasing-freedom proof needs
+// every dependency (at most trace.MaxDepWindow back) of every in-flight
+// instruction to still be resident.
 func Run(cfg config.Config, benchmark string, src Source) Result {
+	if cfg.ROB <= 0 {
+		panic("cpu: ROB size must be positive")
+	}
+	if cfg.ROB+trace.MaxDepWindow >= doneWindow {
+		panic(fmt.Sprintf(
+			"cpu: ROB=%d too large for the %d-entry completion window: ROB + trace.MaxDepWindow (%d) must stay below it or in-window producers' completion times would be silently overwritten",
+			cfg.ROB, doneWindow, trace.MaxDepWindow))
+	}
 	robCap := 1
 	for robCap < cfg.ROB {
 		robCap <<= 1
@@ -190,10 +240,23 @@ func Run(cfg config.Config, benchmark string, src Source) Result {
 	m := &machine{cfg: cfg, iface: core.New(cfg), src: src,
 		lq:  buffers.NewLoadQueue(cfg.LQ),
 		rob: make([]instr, robCap), robMask: uint64(robCap - 1),
+		depLimit: uint64(doneWindow - cfg.ROB),
 		skipDisabled: cfg.DisableCycleSkip ||
-			os.Getenv("MALEC_NO_CYCLE_SKIP") != ""}
+			os.Getenv("MALEC_NO_CYCLE_SKIP") != "",
+		wake: !cfg.DisableWakeup && os.Getenv("MALEC_NO_WAKEUP") == ""}
 	for i := range m.doneAt {
 		m.doneAt[i] = 0 // pre-history: always ready
+	}
+	if m.wake {
+		m.readyMask = make([]uint64, (robCap+63)/64)
+		m.readyAt = make([]int64, robCap)
+		m.pendingDeps = make([]uint8, robCap)
+		m.wakeHead = make([]int32, robCap)
+		for i := range m.wakeHead {
+			m.wakeHead[i] = -1
+		}
+		m.wakeNext = make([]int32, 2*robCap)
+		m.storeSeqs = make([]uint64, robCap)
 	}
 	m.run()
 	return m.result(benchmark)
@@ -288,6 +351,16 @@ func (m *machine) trySkip() {
 // gates both its in-order retirement and the readiness of its dependents).
 // In-flight loads have unknown completion times and contribute no bound —
 // they are gated on the interface calendar instead.
+//
+// Under the wakeup scheduler the ROB contributes nothing beyond the refill
+// deadline, so no scan is needed at all. Every completion time the core
+// records is at most one cycle ahead when recorded (ops and stores complete
+// at issue+1, loads complete at the current cycle), and nextCoreWork only
+// runs on a stalled cycle — a cycle in which nothing issued or completed —
+// so by then every known done or ready time is <= cycle+1, and trySkip
+// ignores bounds that near. The mispredict refill is the sole multi-cycle
+// core-side deadline. The scan below remains as the escape-hatch reference
+// the differential tests compare against.
 func (m *machine) nextCoreWork() int64 {
 	next := core.NoWork
 	if m.redirectSeq != 0 {
@@ -303,6 +376,9 @@ func (m *machine) nextCoreWork() int64 {
 				next = t
 			}
 		}
+	}
+	if m.wake {
+		return next
 	}
 	for i := 0; i < m.robLen; i++ {
 		in := m.robAt(i)
@@ -362,9 +438,28 @@ func (m *machine) complete(seq uint64) {
 				panic("cpu: ROB sequence numbers not contiguous")
 			}
 			in.done = m.cycle
+			if m.wake {
+				m.wakeSlot((seq-1)&m.robMask, m.cycle)
+			}
 		}
 	}
 	m.lq.Release()
+}
+
+// wakeSlot drains the producer slot's wakeup list, folding completion time
+// t into each registered dependent's ready time; dependents whose last
+// unknown producer this was enter the ready mask.
+func (m *machine) wakeSlot(slot uint64, t int64) {
+	for j := m.wakeHead[slot]; j >= 0; j = m.wakeNext[j] {
+		c := uint64(j) >> 1
+		if t > m.readyAt[c] {
+			m.readyAt[c] = t
+		}
+		if m.pendingDeps[c]--; m.pendingDeps[c] == 0 {
+			m.readyMask[c>>6] |= 1 << (c & 63)
+		}
+	}
+	m.wakeHead[slot] = -1
 }
 
 // retire commits finished instructions in order, up to CommitWidth. It
@@ -390,8 +485,8 @@ func (m *machine) retire() int {
 }
 
 // ready reports whether an instruction's producers have completed. It is
-// the hottest leaf of the issue scan, so the two dependency checks are
-// unrolled.
+// the hottest leaf of the escape-hatch issue scan, so the two dependency
+// checks are unrolled.
 func (m *machine) ready(in *instr) bool {
 	if d := uint64(in.rec.Dep1); d != 0 && d <= in.seq &&
 		m.doneAt[(in.seq-d)%doneWindow] > m.cycle {
@@ -410,6 +505,102 @@ func (m *machine) ready(in *instr) bool {
 // among themselves: store-buffer entries are allocated oldest-first, which
 // (as in real store queues) makes SB-full stalls deadlock-free.
 func (m *machine) issue() int {
+	if m.wake {
+		return m.issueWake()
+	}
+	return m.issueScan()
+}
+
+// issueWake is the wakeup-scheduler issue path: it walks the ready mask
+// from the ROB head in age order, visiting only instructions whose
+// producers have all completed, so a full-ROB stall costs a few word scans
+// instead of touching every in-flight entry. Decisions — age order, issue
+// width, TryIssue arbitration, store ordering — match issueScan exactly
+// (differentially tested).
+func (m *machine) issueWake() int {
+	issued := 0
+	head := int(m.robHead)
+	if m.issueReadyRange(head, len(m.rob), &issued) {
+		m.issueReadyRange(0, head, &issued)
+	}
+	return issued
+}
+
+// issueReadyRange issues ready instructions whose slots fall in [from, to),
+// in slot order; it reports false once the issue width is exhausted.
+func (m *machine) issueReadyRange(from, to int, issued *int) bool {
+	for w := from >> 6; w <= (to-1)>>6; w++ {
+		word := m.readyMask[w]
+		if lo := from - w<<6; lo > 0 {
+			word &= ^uint64(0) << lo
+		}
+		if hi := to - w<<6; hi < 64 {
+			word &= 1<<uint(hi) - 1
+		}
+		for word != 0 {
+			if *issued >= m.cfg.IssueWidth {
+				return false
+			}
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			slot := uint64(w<<6 + b)
+			if m.readyAt[slot] > m.cycle {
+				continue // ready next cycle, not this one
+			}
+			if m.tryIssueSlot(slot) {
+				*issued++
+			}
+		}
+	}
+	return true
+}
+
+// tryIssueSlot attempts to issue the ready instruction at slot, reporting
+// whether it consumed an issue slot.
+func (m *machine) tryIssueSlot(slot uint64) bool {
+	in := &m.rob[slot]
+	switch in.rec.Kind {
+	case trace.Op, trace.Branch:
+		in.issued = true
+		in.done = m.cycle + 1
+		m.doneAt[in.seq%doneWindow] = in.done
+		m.readyMask[slot>>6] &^= 1 << (slot & 63)
+		m.wakeSlot(slot, in.done)
+		return true
+	case trace.Load:
+		if !m.iface.TryIssue(core.Request{Seq: in.seq, Kind: mem.Load,
+			VA: in.rec.Addr, Size: in.rec.Size}) {
+			return false
+		}
+		in.issued = true
+		in.done = unknownDone
+		m.doneAt[in.seq%doneWindow] = unknownDone
+		m.readyMask[slot>>6] &^= 1 << (slot & 63)
+		return true // dependents wake when the load completes
+	case trace.Store:
+		if m.storeSeqs[m.storeQHead&m.robMask] != in.seq {
+			return false // an older store has not issued yet
+		}
+		if !m.iface.TryIssue(core.Request{Seq: in.seq, Kind: mem.Store,
+			VA: in.rec.Addr, Size: in.rec.Size}) {
+			return false
+		}
+		m.storeQHead++
+		in.issued = true
+		in.done = m.cycle + 1
+		m.doneAt[in.seq%doneWindow] = in.done
+		m.readyMask[slot>>6] &^= 1 << (slot & 63)
+		m.wakeSlot(slot, in.done)
+		return true
+	}
+	return false
+}
+
+// issueScan is the escape-hatch issue path (Config.DisableWakeup /
+// MALEC_NO_WAKEUP=1): a full scan over the unissued ROB suffix with
+// per-entry readiness checks, kept as the differential reference for the
+// wakeup scheduler.
+func (m *machine) issueScan() int {
 	issued := 0
 	storeBlocked := false
 	for m.issueHint < m.robLen && m.robAt(m.issueHint).issued {
@@ -499,9 +690,22 @@ func (m *machine) dispatch() {
 		}
 		m.hasPending = false
 		m.seq++
+		// Dependencies reaching past the trace start (d > seq) are
+		// ignored pre-history; in-range ones past depLimit would alias a
+		// younger instruction's doneAt slot, so fail loudly instead of
+		// corrupting completion times.
+		if d := uint64(rec.Dep1); d <= m.seq && d > m.depLimit {
+			panic(fmt.Sprintf("cpu: dependency distance %d exceeds the completion window (max %d for ROB=%d)", d, m.depLimit, m.cfg.ROB))
+		}
+		if d := uint64(rec.Dep2); d <= m.seq && d > m.depLimit {
+			panic(fmt.Sprintf("cpu: dependency distance %d exceeds the completion window (max %d for ROB=%d)", d, m.depLimit, m.cfg.ROB))
+		}
 		*m.robAt(m.robLen) = instr{rec: rec, seq: m.seq, done: unknownDone}
 		m.robLen++
 		m.doneAt[m.seq%doneWindow] = unknownDone
+		if m.wake {
+			m.enqueueWake(rec)
+		}
 		m.instructions++
 		switch rec.Kind {
 		case trace.Load:
@@ -517,6 +721,55 @@ func (m *machine) dispatch() {
 				return
 			}
 		}
+	}
+}
+
+// enqueueWake resolves the just-dispatched instruction's producers for the
+// wakeup scheduler. Known completion times fold into its ready time;
+// unknown ones (unissued producers or in-flight loads, which are
+// necessarily still in the ROB) register it on their wakeup lists. Slots
+// are assigned in sequence order, so the slot of sequence s is always
+// (s-1) & robMask, for producers and consumers alike.
+func (m *machine) enqueueWake(rec trace.Record) {
+	seq := m.seq
+	slot := (seq - 1) & m.robMask
+	if m.wakeHead[slot] >= 0 {
+		panic("cpu: reused ROB slot has a non-empty wakeup list")
+	}
+	pending := uint8(0)
+	ready := int64(0)
+	if d := uint64(rec.Dep1); d != 0 && d <= seq {
+		p := seq - d
+		if v := m.doneAt[p%doneWindow]; v >= unknownDone {
+			pslot := (p - 1) & m.robMask
+			node := int32(slot << 1)
+			m.wakeNext[node] = m.wakeHead[pslot]
+			m.wakeHead[pslot] = node
+			pending++
+		} else if v > ready {
+			ready = v
+		}
+	}
+	if d := uint64(rec.Dep2); d != 0 && d <= seq {
+		p := seq - d
+		if v := m.doneAt[p%doneWindow]; v >= unknownDone {
+			pslot := (p - 1) & m.robMask
+			node := int32(slot<<1 | 1)
+			m.wakeNext[node] = m.wakeHead[pslot]
+			m.wakeHead[pslot] = node
+			pending++
+		} else if v > ready {
+			ready = v
+		}
+	}
+	m.pendingDeps[slot] = pending
+	m.readyAt[slot] = ready
+	if pending == 0 {
+		m.readyMask[slot>>6] |= 1 << (slot & 63)
+	}
+	if rec.Kind == trace.Store {
+		m.storeSeqs[m.storeQTail&m.robMask] = seq
+		m.storeQTail++
 	}
 }
 

@@ -183,8 +183,20 @@ func (e *Engine) RunCampaign(spec CampaignSpec) (*Campaign, error) {
 			}
 		}()
 	}
-	for i := range jobs {
-		idx <- i
+	// Feed jobs grouped by (benchmark, seed) rather than in expansion
+	// order: every configuration sharing one workload runs back to back,
+	// so the engine's materialized-trace cache only ever needs to hold
+	// the few traces currently in flight (reuse distance = the config
+	// count, not the whole benchmark grid). The exported result order is
+	// unaffected — workers write into pre-assigned slots — and with equal
+	// keys results are byte-identical regardless of execution order.
+	nc, nb, ns := len(spec.Configs), len(spec.Benchmarks), len(spec.Seeds)
+	for b := 0; b < nb; b++ {
+		for s := 0; s < ns; s++ {
+			for c := 0; c < nc; c++ {
+				idx <- c*nb*ns + b*ns + s
+			}
+		}
 	}
 	close(idx)
 	wg.Wait()

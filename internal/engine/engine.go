@@ -29,6 +29,7 @@ import (
 
 	"malec/internal/config"
 	"malec/internal/cpu"
+	"malec/internal/trace"
 )
 
 // SimulateFunc computes the result of one simulation point. The default is
@@ -50,9 +51,24 @@ type Options struct {
 	// means unbounded — appropriate for one-shot campaigns; long-lived
 	// processes should set a bound.
 	MaxCacheEntries int
+	// TraceCacheRecords bounds the engine's materialized-trace cache in
+	// total trace records (not bytes): the engine generates each
+	// (benchmark, seed) workload once per campaign and shares the flat
+	// record arena between every configuration simulating it, instead of
+	// regenerating the byte-identical trace per config. Zero selects
+	// DefaultTraceCacheRecords; a negative value disables trace caching
+	// (every simulation generates its own trace, the pre-cache behavior).
+	// Ignored when Simulate is set.
+	TraceCacheRecords int
 	// Simulate overrides the simulation function (tests only).
 	Simulate SimulateFunc
 }
+
+// DefaultTraceCacheRecords is the default materialized-trace cache bound:
+// 8M records (~200 MB of trace arena) holds the in-flight working set of
+// any realistic campaign, since RunCampaign orders execution so that all
+// configurations sharing one workload run back to back.
+const DefaultTraceCacheRecords = 1 << 23
 
 // Source reports where a result came from.
 type Source string
@@ -82,6 +98,15 @@ type Stats struct {
 	Simulations uint64 `json:"simulations"`
 	// Entries is the current in-memory cache size.
 	Entries int `json:"entries"`
+	// TraceHits and TraceMisses count materialized-trace cache activity:
+	// hits are simulations served from an already-generated shared trace
+	// arena, misses had to generate (or extend) one. Both stay zero when
+	// trace caching is disabled or a custom Simulate is installed.
+	TraceHits   uint64 `json:"traceHits"`
+	TraceMisses uint64 `json:"traceMisses"`
+	// TraceRecords is the number of trace records currently held by the
+	// materialized-trace cache.
+	TraceRecords int `json:"traceRecords"`
 }
 
 // Lookups returns the total number of requests the engine has served.
@@ -102,6 +127,7 @@ type Engine struct {
 	cacheDir   string
 	maxEntries int
 	sem        chan struct{} // bounds concurrent simulations
+	traces     *trace.Cache  // shared materialized traces (nil: disabled)
 
 	mu       sync.Mutex
 	cache    map[Key]cpu.Result
@@ -115,17 +141,30 @@ func New(opts Options) *Engine {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	if opts.Simulate == nil {
-		opts.Simulate = cpu.RunBenchmark
-	}
-	return &Engine{
-		simulate:   opts.Simulate,
+	e := &Engine{
 		cacheDir:   opts.CacheDir,
 		maxEntries: opts.MaxCacheEntries,
 		sem:        make(chan struct{}, opts.Workers),
 		cache:      make(map[Key]cpu.Result),
 		inflight:   make(map[Key]*call),
 	}
+	e.simulate = opts.Simulate
+	if e.simulate == nil {
+		bound := opts.TraceCacheRecords
+		if bound == 0 {
+			bound = DefaultTraceCacheRecords
+		}
+		if bound > 0 {
+			e.traces = trace.NewCache(bound)
+			e.simulate = func(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result {
+				recs := e.traces.Records(benchmark, seed, instructions)
+				return cpu.Run(cfg, benchmark, &cpu.SliceSource{Records: recs})
+			}
+		} else {
+			e.simulate = cpu.RunBenchmark
+		}
+	}
+	return e
 }
 
 // store inserts a result into the in-memory cache, evicting the oldest
@@ -234,9 +273,15 @@ func (e *Engine) Cached(key Key) (cpu.Result, bool) {
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	s := e.stats
 	s.Entries = len(e.cache)
+	e.mu.Unlock()
+	if e.traces != nil {
+		ts := e.traces.Stats()
+		s.TraceHits = ts.Hits
+		s.TraceMisses = ts.Misses
+		s.TraceRecords = ts.Records
+	}
 	return s
 }
 

@@ -461,3 +461,65 @@ func TestResultJSONRoundTrip(t *testing.T) {
 		t.Fatalf("re-marshal not byte-identical")
 	}
 }
+
+// TestTraceCacheCampaignEquivalence runs one real campaign twice — trace
+// cache enabled (default) and disabled — and requires byte-identical JSON
+// and CSV exports: the shared materialized trace must be indistinguishable
+// from per-simulation generation. It also checks the cache actually
+// engaged (every config after the first is a trace hit) and that stats
+// flow through Engine.Stats.
+func TestTraceCacheCampaignEquivalence(t *testing.T) {
+	spec := CampaignSpec{
+		Configs:      []config.Config{config.Base1ldst(), config.Base2ld1st(), config.MALEC()},
+		Benchmarks:   []string{"gzip", "mcf"},
+		Instructions: 3000,
+		Seeds:        []uint64{1, 2},
+		Workers:      3,
+	}
+	cached := New(Options{Workers: 3})
+	fresh := New(Options{Workers: 3, TraceCacheRecords: -1})
+	cc, err := cached.RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := fresh.RunCampaign(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := cc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := cf.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jc, jf) {
+		t.Fatal("trace-cached campaign JSON differs from per-simulation generation")
+	}
+	vc, err := cc.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, err := cf.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vc, vf) {
+		t.Fatal("trace-cached campaign CSV differs from per-simulation generation")
+	}
+
+	cs := cached.Stats()
+	// 2 benchmarks x 2 seeds: one miss each; the other 2 configs per
+	// workload share the arena.
+	if cs.TraceMisses != 4 || cs.TraceHits != 8 {
+		t.Fatalf("trace cache stats hits=%d misses=%d, want 8/4", cs.TraceHits, cs.TraceMisses)
+	}
+	if cs.TraceRecords != 4*3000 {
+		t.Fatalf("trace cache holds %d records, want %d", cs.TraceRecords, 4*3000)
+	}
+	fs := fresh.Stats()
+	if fs.TraceHits != 0 || fs.TraceMisses != 0 || fs.TraceRecords != 0 {
+		t.Fatalf("disabled trace cache reported activity: %+v", fs)
+	}
+}

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// traceKey content-addresses one materialized trace. The instruction count
+// is deliberately not part of the key: the generator is prefix-stable (the
+// first n records of a longer run equal an n-record run), so one arena per
+// (benchmark, seed) serves every requested length as a slice prefix.
+type traceKey struct {
+	benchmark string
+	seed      uint64
+}
+
+// traceEntry is one materialized trace: a flat record arena plus the
+// generator positioned at its end, so a longer request extends the arena
+// in place instead of regenerating from scratch.
+type traceEntry struct {
+	key traceKey
+
+	// mu serializes generation for this entry (singleflight: concurrent
+	// requests for one workload generate it once while other workloads
+	// proceed in parallel). records only grows; slices handed out remain
+	// valid after later extensions or eviction.
+	mu      sync.Mutex
+	gen     *Generator
+	records []Record
+
+	// size mirrors len(records) under the cache lock, for the record
+	// budget; evicted marks entries already dropped from the index so a
+	// concurrent extension does not re-account them.
+	size    int
+	evicted bool
+
+	prev, next *traceEntry // LRU list, most recent first
+}
+
+// CacheStats snapshots a trace cache's counters.
+type CacheStats struct {
+	// Entries and Records describe the current cache content.
+	Entries int `json:"entries"`
+	Records int `json:"records"`
+	// Hits counts requests fully served from a cached arena; Misses
+	// counts requests that had to create an entry or generate records
+	// (an extension of an existing arena counts as a miss).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// GeneratedRecords and EvictedRecords count total generator pulls and
+	// records dropped by the LRU bound over the cache's lifetime.
+	GeneratedRecords uint64 `json:"generatedRecords"`
+	EvictedRecords   uint64 `json:"evictedRecords"`
+}
+
+// Cache is a bounded, content-addressed store of materialized benchmark
+// traces, keyed by (benchmark, seed) and served as flat []Record prefixes.
+// It exists so that a sweep running one workload across many machine
+// configurations generates the workload's trace once and shares the same
+// backing array between all simulations (the returned slices are read-only
+// by convention and safe for concurrent readers). Memory is bounded by a
+// total record budget with least-recently-used eviction. Safe for
+// concurrent use.
+type Cache struct {
+	mu         sync.Mutex
+	maxRecords int
+	total      int
+	entries    map[traceKey]*traceEntry
+	head, tail *traceEntry
+	hits       uint64
+	misses     uint64
+	generated  uint64
+	evictedRec uint64
+}
+
+// NewCache returns a trace cache bounded to maxRecords total records
+// across all entries. It panics on a non-positive bound (callers disable
+// trace caching by not constructing one).
+func NewCache(maxRecords int) *Cache {
+	if maxRecords <= 0 {
+		panic("trace: cache record bound must be positive")
+	}
+	return &Cache{maxRecords: maxRecords, entries: make(map[traceKey]*traceEntry)}
+}
+
+// Records returns the first n records of the named benchmark's trace for
+// seed, generating or extending the cached arena as needed. The returned
+// slice aliases the shared arena: callers must treat it as read-only. It
+// panics on unknown benchmarks, mirroring the generator path.
+func (c *Cache) Records(benchmark string, seed uint64, n int) []Record {
+	prof, ok := Profiles[benchmark]
+	if !ok {
+		panic(fmt.Sprintf("trace: unknown benchmark %q", benchmark))
+	}
+	if n <= 0 {
+		return nil
+	}
+	if n > c.maxRecords {
+		// An arena that could never fit would evict the whole cache for
+		// nothing; generate it privately instead.
+		c.mu.Lock()
+		c.misses++
+		c.generated += uint64(n)
+		c.mu.Unlock()
+		return NewGenerator(prof, seed).Generate(n)
+	}
+
+	key := traceKey{benchmark: benchmark, seed: seed}
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &traceEntry{key: key, gen: NewGenerator(prof, seed)}
+		c.entries[key] = e
+		c.pushFront(e)
+	} else {
+		c.moveToFront(e)
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	grew := 0
+	if len(e.records) < n {
+		grew = n - len(e.records)
+		if cap(e.records) < n {
+			grown := make([]Record, len(e.records), n)
+			copy(grown, e.records)
+			e.records = grown
+		}
+		for len(e.records) < n {
+			e.records = append(e.records, e.gen.Next())
+		}
+	}
+	recs := e.records[:n:n]
+	e.mu.Unlock()
+
+	c.mu.Lock()
+	if grew > 0 {
+		c.misses++
+		c.generated += uint64(grew)
+		if !e.evicted {
+			e.size += grew
+			c.total += grew
+			c.evict(e)
+		}
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	return recs
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:          len(c.entries),
+		Records:          c.total,
+		Hits:             c.hits,
+		Misses:           c.misses,
+		GeneratedRecords: c.generated,
+		EvictedRecords:   c.evictedRec,
+	}
+}
+
+// evict drops least-recently-used entries until the record budget holds,
+// never evicting keep (the entry just served, which is also the MRU).
+// Caller holds c.mu.
+func (c *Cache) evict(keep *traceEntry) {
+	for c.total > c.maxRecords && c.tail != nil && c.tail != keep {
+		e := c.tail
+		c.remove(e)
+		delete(c.entries, e.key)
+		e.evicted = true
+		c.total -= e.size
+		c.evictedRec += uint64(e.size)
+	}
+}
+
+// pushFront inserts a new entry at the MRU end. Caller holds c.mu.
+func (c *Cache) pushFront(e *traceEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// remove unlinks an entry from the LRU list. Caller holds c.mu.
+func (c *Cache) remove(e *traceEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront marks an entry most recently used. Caller holds c.mu.
+func (c *Cache) moveToFront(e *traceEntry) {
+	if c.head == e {
+		return
+	}
+	c.remove(e)
+	c.pushFront(e)
+}

@@ -83,6 +83,13 @@ type Profile struct {
 	WideAccessFrac float64
 }
 
+// MaxDepWindow is the largest dependency window a profile may use. The
+// simulator keeps completion times in a fixed ring indexed by sequence
+// number (cpu.doneWindow); bounding how far back a dependency can reach is
+// one half of the aliasing-freedom invariant (the other is the ROB bound
+// cpu.Run validates), so sanitized clamps DepWindow here.
+const MaxDepWindow = 512
+
 // sanitized returns a copy of p with zero fields replaced by safe defaults.
 func (p Profile) sanitized() Profile {
 	if p.NumStreams <= 0 {
@@ -99,6 +106,9 @@ func (p Profile) sanitized() Profile {
 	}
 	if p.DepWindow <= 0 {
 		p.DepWindow = 32
+	}
+	if p.DepWindow > MaxDepWindow {
+		p.DepWindow = MaxDepWindow
 	}
 	if p.LoadFrac <= 0 {
 		p.LoadFrac = 2.0 / 3.0
@@ -321,9 +331,7 @@ func (g *Generator) advance(s *stream, samePage, sameLine float64) {
 	switch {
 	case g.rnd.Bool(sameLine):
 		// Stay within the current line: wiggle the low offset.
-		off := cur.LineOffset()
 		delta := uint32(g.rnd.Intn(mem.LineSize)) &^ 3
-		_ = off
 		s.cur = cur.LineAddr() + mem.Addr(delta)
 	case g.rnd.Bool(samePage):
 		// Advance within the page by the stream stride.

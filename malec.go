@@ -23,10 +23,12 @@
 //     paper's evaluation;
 //   - a campaign engine (NewEngine) with a content-addressed result
 //     cache, singleflight deduplication of concurrent identical runs,
-//     bounded-worker scheduling, optional disk persistence, and
-//     config x benchmark x seed sweep campaigns with JSON/CSV export —
-//     the layer the experiment drivers and the malecd HTTP service
-//     (cmd/malecd) run on.
+//     bounded-worker scheduling, optional disk persistence, a shared
+//     materialized-trace cache (each workload is generated once per
+//     campaign and its record arena shared across every configuration),
+//     and config x benchmark x seed sweep campaigns with JSON/CSV
+//     export — the layer the experiment drivers and the malecd HTTP
+//     service (cmd/malecd) run on.
 //
 // Quick start:
 //
@@ -158,7 +160,8 @@ var (
 // cache plus a bounded-worker, deduplicating scheduler. See NewEngine.
 type Engine = engine.Engine
 
-// EngineOptions configures NewEngine (workers, disk cache directory).
+// EngineOptions configures NewEngine (workers, disk cache directory,
+// materialized-trace cache bound).
 type EngineOptions = engine.Options
 
 // EngineStats snapshots an engine's cache and scheduler counters.

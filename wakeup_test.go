@@ -1,0 +1,90 @@
+package malec
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWakeupSchedulerDifferential proves the wakeup scheduler (per-producer
+// wakeup lists + age-ordered ready set) is semantically invisible: for
+// every point of the skip-test grid — 5 configs x 6 benchmarks (3 paper,
+// 3 stall-heavy stress) x 2 seeds — the full Result JSON is byte-identical
+// between the wakeup path and the DisableWakeup scan path. Cycle skipping
+// stays enabled on both sides, so the test also covers the interaction of
+// the two event-driven mechanisms.
+func TestWakeupSchedulerDifferential(t *testing.T) {
+	t.Setenv("MALEC_NO_WAKEUP", "") // pin: the suite must pass with the env hatch exported
+	const instructions = 20000
+	for _, g := range skipGrid() {
+		on := g.Cfg
+		off := g.Cfg
+		off.DisableWakeup = true
+		rOn := Run(on, g.Bench, instructions, g.Seed)
+		rOff := Run(off, g.Bench, instructions, g.Seed)
+		jOn, err := json.Marshal(rOn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jOff, err := json.Marshal(rOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jOn, jOff) {
+			t.Errorf("%s/%s/seed=%d: wakeup result differs from scan (cycles %d vs %d)",
+				g.Cfg.Name, g.Bench, g.Seed, rOn.Cycles, rOff.Cycles)
+		}
+	}
+}
+
+// TestWakeupEnvEscapeHatch checks the MALEC_NO_WAKEUP environment toggle
+// forces the scan path without changing the semantic result.
+func TestWakeupEnvEscapeHatch(t *testing.T) {
+	t.Setenv("MALEC_NO_WAKEUP", "")
+	ref := Run(MALEC(), "gzip", 10000, 1)
+	t.Setenv("MALEC_NO_WAKEUP", "1")
+	r := Run(MALEC(), "gzip", 10000, 1)
+	if r.Cycles != ref.Cycles {
+		t.Fatalf("env toggle changed timing: %d vs %d cycles", r.Cycles, ref.Cycles)
+	}
+	if r.Energy.Total() != ref.Energy.Total() {
+		t.Fatalf("env toggle changed energy: %f vs %f pJ", r.Energy.Total(), ref.Energy.Total())
+	}
+}
+
+// TestSliceSourceMatchesGenSource is the correctness backbone of the
+// materialized-trace cache: simulating a pre-generated record slice must
+// produce a Result byte-identical to pulling the same records live from
+// the generator, for every benchmark of every suite (plus the stress set).
+// The engine's trace cache relies on this to substitute SliceSource over a
+// shared arena for per-simulation generation.
+func TestSliceSourceMatchesGenSource(t *testing.T) {
+	const instructions = 4000
+	benches := append(Benchmarks(), StressBenchmarks()...)
+	for _, bench := range benches {
+		live := Run(MALEC(), bench, instructions, 1)
+		slice := RunTrace(MALEC(), bench, Generate(bench, instructions, 1))
+		jLive, err := json.Marshal(live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jSlice, err := json.Marshal(slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jLive, jSlice) {
+			t.Errorf("%s: SliceSource result differs from GenSource (cycles %d vs %d)",
+				bench, live.Cycles, slice.Cycles)
+		}
+	}
+	// Cross-check a second interface kind and seed on a subset.
+	for _, bench := range []string{"gzip", "mcf", "djpeg"} {
+		for _, cfg := range []Config{Base1ldst(), Base2ld1st()} {
+			live := Run(cfg, bench, instructions, 2)
+			slice := RunTrace(cfg, bench, Generate(bench, instructions, 2))
+			if live.Cycles != slice.Cycles || live.Energy.Total() != slice.Energy.Total() {
+				t.Errorf("%s/%s: slice-fed run diverged from live generation", cfg.Name, bench)
+			}
+		}
+	}
+}
