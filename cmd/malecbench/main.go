@@ -13,8 +13,10 @@
 //
 // Throughput mode measures the simulator itself instead of the paper's
 // figures: it runs each L1 interface variant on one workload and reports
-// committed instructions per second, wall time, allocations per run and
-// cycle-skip telemetry (skipped cycles, jumps, skip rate) as JSON. The
+// committed instructions per second, wall time, allocations per run,
+// cycle-skip telemetry (skipped cycles, jumps, skip rate) and the
+// simulated run's per-component dynamic/leakage energy breakdown (pJ) as
+// JSON, so perf/energy trade-offs are visible straight from the CLI. The
 // committed BENCH_core.json at the repository root records these numbers
 // before and after hot-path changes. Besides the paper's 38 workloads,
 // -bench accepts the stall-heavy stress profiles (ptrchase, brstorm,
@@ -37,6 +39,7 @@ import (
 
 	"malec/internal/config"
 	"malec/internal/cpu"
+	"malec/internal/energy"
 	"malec/internal/engine"
 	"malec/internal/experiments"
 	"malec/internal/stats"
@@ -57,6 +60,46 @@ type throughputRow struct {
 	SkippedCycles uint64  `json:"skipped_cycles"`
 	SkipJumps     uint64  `json:"skip_jumps"`
 	SkipRate      float64 `json:"skip_rate"`
+	// Energy is the simulated run's per-component dynamic/leakage energy
+	// breakdown from the meter (picojoules), so perf/energy trade-offs
+	// across configurations are visible without a full campaign.
+	Energy energyReport `json:"energy"`
+}
+
+// componentEnergy is one component's share of the energy breakdown.
+type componentEnergy struct {
+	Component string  `json:"component"`
+	DynamicPJ float64 `json:"dynamic_pj"`
+	LeakagePJ float64 `json:"leakage_pj"`
+}
+
+// energyReport renders a Breakdown for the throughput JSON: per-component
+// rows (components with no energy omitted) plus totals.
+type energyReport struct {
+	Components []componentEnergy `json:"components"`
+	DynamicPJ  float64           `json:"dynamic_pj"`
+	LeakagePJ  float64           `json:"leakage_pj"`
+	TotalPJ    float64           `json:"total_pj"`
+}
+
+// energyReportOf converts a Breakdown into the JSON form.
+func energyReportOf(b energy.Breakdown) energyReport {
+	rep := energyReport{
+		DynamicPJ: b.TotalDynamic(),
+		LeakagePJ: b.TotalLeakage(),
+		TotalPJ:   b.Total(),
+	}
+	for _, c := range energy.Components() {
+		if b.Dynamic[c] == 0 && b.Leakage[c] == 0 {
+			continue
+		}
+		rep.Components = append(rep.Components, componentEnergy{
+			Component: c.String(),
+			DynamicPJ: b.Dynamic[c],
+			LeakagePJ: b.Leakage[c],
+		})
+	}
+	return rep
 }
 
 // throughputReport is the JSON document -throughput mode prints.
@@ -106,6 +149,7 @@ func runThroughput(benchmark string, instructions int, seed uint64, runs int) th
 			Cycles:       last.Cycles,
 			IPC:          last.IPC(),
 			SkipRate:     last.SkipRate(),
+			Energy:       energyReportOf(last.Energy),
 		}
 		if last.Telemetry != nil {
 			row.SkippedCycles = last.Telemetry.Get(stats.CtrSkippedCycles)

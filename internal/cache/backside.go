@@ -6,6 +6,15 @@ import "malec/internal/mem"
 // paper keeps L2 and below out of the energy accounting ("MALEC alters the
 // timing of L2 accesses, but does not significantly impact their number or
 // miss rate"), so the L2 tracks residency and counts only.
+//
+// Residency checks are O(1) by default: a line-ID -> flat-slot hash index
+// replaces the per-access tag scan over all ways (at 16 ways this was the
+// largest remaining per-access scan on the memory side; miss-dominated
+// workloads pay it on every L1 miss). A line maps to exactly one set and is
+// resident in at most one way, so index hit/miss exactly matches the scan.
+// The scan stays behind SetIndexed(false) as the differential reference
+// (config.DisableMemIndex / MALEC_NO_MEM_INDEX=1); victim selection on a
+// miss is the same LRU sweep either way.
 type L2 struct {
 	ways int
 	sets int
@@ -15,6 +24,12 @@ type L2 struct {
 	lines []Line
 	lru   []uint64
 	clock uint64
+
+	useIndex bool
+	// idx chains resident flat slots by line ID (physical address >>
+	// LineShift). Maintained on every fill/eviction regardless of mode,
+	// so the toggle may flip anytime.
+	idx *mem.SlotIndex
 
 	Latency     int // cycles added on an L1 miss that hits L2
 	accesses    uint64
@@ -41,10 +56,20 @@ func NewL2Custom(capacity, ways, latency int) *L2 {
 	if sets <= 0 {
 		panic("cache: L2 too small")
 	}
-	l := &L2{ways: ways, sets: sets, Latency: latency}
+	l := &L2{ways: ways, sets: sets, Latency: latency, useIndex: true}
 	l.lines = make([]Line, sets*ways)
 	l.lru = make([]uint64, sets*ways)
+	l.idx = mem.NewSlotIndex(sets * ways)
 	return l
+}
+
+// SetIndexed selects between the indexed (default) and scan residency
+// paths. Host-simulator work only, never simulated results.
+func (l *L2) SetIndexed(on bool) { l.useIndex = on }
+
+// lineID is the index key of a line-aligned physical address.
+func lineID(target mem.Addr) uint32 {
+	return uint32(uint64(target) >> mem.LineShift)
 }
 
 // Stats returns the L2 activity counters.
@@ -61,26 +86,41 @@ func (l *L2) set(pa mem.Addr) int {
 func (l *L2) Access(pa mem.Addr) (hit bool) {
 	l.accesses++
 	base := l.set(pa) * l.ways
-	lines := l.lines[base : base+l.ways]
-	lru := l.lru[base : base+l.ways]
 	target := pa.LineAddr()
-	for w := range lines {
-		if lines[w].Valid && lines[w].PLine == target {
-			l.hits++
-			l.clock++
-			lru[w] = l.clock
-			return true
+	if l.useIndex {
+		for slot := l.idx.First(lineID(target)); slot >= 0; slot = l.idx.Next(slot) {
+			if l.lines[slot].PLine == target {
+				l.hits++
+				l.clock++
+				l.lru[slot] = l.clock
+				return true
+			}
+		}
+	} else {
+		for w := 0; w < l.ways; w++ {
+			if ln := &l.lines[base+w]; ln.Valid && ln.PLine == target {
+				l.hits++
+				l.clock++
+				l.lru[base+w] = l.clock
+				return true
+			}
 		}
 	}
 	l.misses++
 	// Fill (LRU victim).
+	lines := l.lines[base : base+l.ways]
+	lru := l.lru[base : base+l.ways]
 	way := 0
 	for w := 1; w < l.ways; w++ {
 		if lru[w] < lru[way] {
 			way = w
 		}
 	}
+	if old := lines[way]; old.Valid {
+		l.idx.Remove(lineID(old.PLine), int32(base+way))
+	}
 	lines[way] = Line{Valid: true, PLine: target}
+	l.idx.Add(lineID(target), int32(base+way))
 	l.clock++
 	lru[way] = l.clock
 	return false

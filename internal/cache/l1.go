@@ -63,8 +63,8 @@ type L1 struct {
 	ways int
 	sets int
 
-	lines [][]Line   // [set][way]
-	lru   [][]uint64 // LRU stamps
+	lines []Line   // flattened [set][way]: index set*ways+way
+	lru   []uint64 // LRU stamps, same layout
 	clock uint64
 
 	// ConstrainWays enforces the way-table encodability constraint
@@ -94,13 +94,11 @@ func NewL1Custom(sets, ways int) *L1 {
 	if sets%mem.NumBanks != 0 {
 		panic(fmt.Sprintf("cache: %d sets not divisible by %d banks", sets, mem.NumBanks))
 	}
+	// Flat slabs (two allocations total, not two per set): construction
+	// cost matters because every simulation run builds a fresh L1.
 	c := &L1{ways: ways, sets: sets}
-	c.lines = make([][]Line, sets)
-	c.lru = make([][]uint64, sets)
-	for i := range c.lines {
-		c.lines[i] = make([]Line, ways)
-		c.lru[i] = make([]uint64, ways)
-	}
+	c.lines = make([]Line, sets*ways)
+	c.lru = make([]uint64, sets*ways)
 	return c
 }
 
@@ -121,13 +119,16 @@ func (c *L1) set(pa mem.Addr) int {
 // Bank returns the bank servicing physical address pa.
 func (c *L1) Bank(pa mem.Addr) int { return c.set(pa) % mem.NumBanks }
 
+// line returns the Line at (set, way) in the flat slab.
+func (c *L1) line(s, w int) *Line { return &c.lines[s*c.ways+w] }
+
 // Probe reports whether pa is resident and in which way, without touching
 // statistics or LRU state.
 func (c *L1) Probe(pa mem.Addr) (way int, hit bool) {
-	s := c.set(pa)
+	base := c.set(pa) * c.ways
 	target := pa.LineAddr()
-	for w := range c.lines[s] {
-		if c.lines[s][w].Valid && c.lines[s][w].PLine == target {
+	for w := 0; w < c.ways; w++ {
+		if ln := &c.lines[base+w]; ln.Valid && ln.PLine == target {
 			return w, true
 		}
 	}
@@ -137,7 +138,7 @@ func (c *L1) Probe(pa mem.Addr) (way int, hit bool) {
 // touch updates LRU state for (set, way).
 func (c *L1) touch(s, w int) {
 	c.clock++
-	c.lru[s][w] = c.clock
+	c.lru[s*c.ways+w] = c.clock
 }
 
 // ReadConventional performs a conventional-mode load lookup: all tag arrays
@@ -167,8 +168,8 @@ func (c *L1) ReadReduced(pa mem.Addr, way int) {
 	c.stats.ReducedReads++
 	c.stats.DataWayReads++
 	s := c.set(pa)
-	if way < 0 || way >= c.ways || !c.lines[s][way].Valid ||
-		c.lines[s][way].PLine != pa.LineAddr() {
+	if way < 0 || way >= c.ways || !c.line(s, way).Valid ||
+		c.line(s, way).PLine != pa.LineAddr() {
 		panic(fmt.Sprintf("cache: reduced access to %v way %d violated way-table guarantee", pa, way))
 	}
 	c.stats.Hits++
@@ -189,7 +190,7 @@ func (c *L1) Write(pa mem.Addr) (way int, hit bool) {
 	c.stats.Hits++
 	c.stats.DataWayWrites++
 	s := c.set(pa)
-	c.lines[s][way].Dirty = true
+	c.line(s, way).Dirty = true
 	c.touch(s, way)
 	return way, true
 }
@@ -200,12 +201,12 @@ func (c *L1) WriteReduced(pa mem.Addr, way int) {
 	c.stats.Stores++
 	c.stats.DataWayWrites++
 	s := c.set(pa)
-	if way < 0 || way >= c.ways || !c.lines[s][way].Valid ||
-		c.lines[s][way].PLine != pa.LineAddr() {
+	if way < 0 || way >= c.ways || !c.line(s, way).Valid ||
+		c.line(s, way).PLine != pa.LineAddr() {
 		panic(fmt.Sprintf("cache: reduced store to %v way %d violated way-table guarantee", pa, way))
 	}
 	c.stats.Hits++
-	c.lines[s][way].Dirty = true
+	c.line(s, way).Dirty = true
 	c.touch(s, way)
 }
 
@@ -220,11 +221,12 @@ func (c *L1) Fill(pa mem.Addr) (way int, victim mem.Addr, writeback bool) {
 	}
 	// Prefer an invalid allowed way.
 	way = -1
-	for w := range c.lines[s] {
+	base := s * c.ways
+	for w := 0; w < c.ways; w++ {
 		if w == excluded {
 			continue
 		}
-		if !c.lines[s][w].Valid {
+		if !c.lines[base+w].Valid {
 			way = w
 			break
 		}
@@ -232,16 +234,16 @@ func (c *L1) Fill(pa mem.Addr) (way int, victim mem.Addr, writeback bool) {
 	if way < 0 {
 		// LRU among allowed ways.
 		var bestStamp uint64
-		for w := range c.lines[s] {
+		for w := 0; w < c.ways; w++ {
 			if w == excluded {
 				continue
 			}
-			if way < 0 || c.lru[s][w] < bestStamp {
-				way, bestStamp = w, c.lru[s][w]
+			if way < 0 || c.lru[base+w] < bestStamp {
+				way, bestStamp = w, c.lru[base+w]
 			}
 		}
 	}
-	old := c.lines[s][way]
+	old := c.lines[base+way]
 	if old.Valid {
 		c.stats.Evictions++
 		if old.Dirty {
@@ -254,7 +256,7 @@ func (c *L1) Fill(pa mem.Addr) (way int, victim mem.Addr, writeback bool) {
 			c.OnEvict(old.PLine, s, way)
 		}
 	}
-	c.lines[s][way] = Line{Valid: true, PLine: pa.LineAddr()}
+	c.lines[base+way] = Line{Valid: true, PLine: pa.LineAddr()}
 	c.stats.Fills++
 	c.stats.TagWayWrites++
 	c.stats.DataWayWrites++
@@ -269,19 +271,19 @@ func (c *L1) Fill(pa mem.Addr) (way int, victim mem.Addr, writeback bool) {
 // followed by the store that caused it).
 func (c *L1) MarkDirty(pa mem.Addr) {
 	if w, hit := c.Probe(pa); hit {
-		c.lines[c.set(pa)][w].Dirty = true
+		c.line(c.set(pa), w).Dirty = true
 	}
 }
 
 // InvalidateAll clears the cache, firing OnEvict for each valid line.
 func (c *L1) InvalidateAll() {
-	for s := range c.lines {
-		for w := range c.lines[s] {
-			if c.lines[s][w].Valid {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			if ln := c.line(s, w); ln.Valid {
 				if c.OnEvict != nil {
-					c.OnEvict(c.lines[s][w].PLine, s, w)
+					c.OnEvict(ln.PLine, s, w)
 				}
-				c.lines[s][w] = Line{}
+				*ln = Line{}
 			}
 		}
 	}

@@ -1,0 +1,53 @@
+package cache
+
+import (
+	"testing"
+
+	"malec/internal/mem"
+	"malec/internal/rng"
+)
+
+// TestL2IndexedMatchesScanRandomized drives an indexed L2 and a
+// scan-configured one through the identical randomized access/writeback
+// stream over a footprint several times the capacity (evictions and
+// re-fills throughout) and demands identical hit/miss outcomes and Stats.
+func TestL2IndexedMatchesScanRandomized(t *testing.T) {
+	indexed := NewL2Custom(1<<14, 4, 12) // small: 16 KB, 64 sets
+	scan := NewL2Custom(1<<14, 4, 12)
+	scan.SetIndexed(false)
+	drv := rng.New(23)
+	for op := 0; op < 100000; op++ {
+		pa := mem.Addr(drv.Intn(1 << 18)) // 4x capacity footprint
+		if drv.Intn(8) == 0 {
+			indexed.Writeback(pa)
+			scan.Writeback(pa)
+			continue
+		}
+		h1 := indexed.Access(pa)
+		h2 := scan.Access(pa)
+		if h1 != h2 {
+			t.Fatalf("op %d: Access(%v) diverged: indexed=%v scan=%v", op, pa, h1, h2)
+		}
+	}
+	if indexed.Stats() != scan.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", indexed.Stats(), scan.Stats())
+	}
+}
+
+// TestL2IndexToggleMidstream flips the toggle mid-workload: the index is
+// maintained unconditionally, so lookups must stay coherent.
+func TestL2IndexToggleMidstream(t *testing.T) {
+	l := NewL2Custom(1<<14, 4, 12)
+	ref := NewL2Custom(1<<14, 4, 12)
+	ref.SetIndexed(false)
+	drv := rng.New(29)
+	for op := 0; op < 20000; op++ {
+		if op%173 == 0 {
+			l.SetIndexed(op%346 == 0)
+		}
+		pa := mem.Addr(drv.Intn(1 << 17))
+		if l.Access(pa) != ref.Access(pa) {
+			t.Fatalf("op %d: toggled L2 diverged", op)
+		}
+	}
+}

@@ -113,6 +113,16 @@ type Config struct {
 	// and A/B measurement; the MALEC_NO_WAKEUP environment variable (any
 	// non-empty value) has the same effect.
 	DisableWakeup bool
+	// DisableMemIndex forces the scan-based memory-side lookup paths:
+	// uTLB/TLB forward and reverse lookups revert to linear scans over the
+	// fully-associative entry arrays, and way-table SlotFor reverts to a
+	// slot scan, instead of the compact hash indexes maintained alongside
+	// them. Like DisableCycleSkip and DisableWakeup this is a
+	// host-simulator toggle that never alters simulated results
+	// (differentially tested) and exists for debugging and A/B
+	// measurement; the MALEC_NO_MEM_INDEX environment variable (any
+	// non-empty value) has the same effect.
+	DisableMemIndex bool
 	// Bypass enables run-time cache bypassing (Sec. VI-D): loads to
 	// pages classified as streaming skip L1 allocation and way-table
 	// maintenance.

@@ -11,10 +11,10 @@ func singlePorted() Ports { return Ports{HasWayTables: true} }
 func TestReducedCheaperThanConventional(t *testing.T) {
 	m := NewMeter(DefaultParams(), singlePorted())
 	m.L1ConventionalRead(4)
-	conv := m.dyn[L1]
+	conv := m.dynamic()[L1]
 	m2 := NewMeter(DefaultParams(), singlePorted())
 	m2.L1ReducedRead()
-	red := m2.dyn[L1]
+	red := m2.dynamic()[L1]
 	if red >= conv {
 		t.Fatalf("reduced %v >= conventional %v", red, conv)
 	}
@@ -31,7 +31,7 @@ func TestPortPremiums(t *testing.T) {
 	multi := NewMeter(p, Ports{L1ExtraPorts: 1, TLBExtraPorts: 2})
 	base.L1ConventionalRead(4)
 	multi.L1ConventionalRead(4)
-	if multi.dyn[L1] <= base.dyn[L1] {
+	if multi.dynamic()[L1] <= base.dynamic()[L1] {
 		t.Fatal("extra ports must raise dynamic energy per access")
 	}
 	bb := base.Finish(1000)
@@ -71,7 +71,7 @@ func TestWDUCosts(t *testing.T) {
 	big := NewMeter(p, Ports{WDUEntries: 32, WDUPorts: 4})
 	small.WDULookup()
 	big.WDULookup()
-	if big.dyn[WDU] <= small.dyn[WDU] {
+	if big.dynamic()[WDU] <= small.dynamic()[WDU] {
 		t.Fatal("bigger WDU lookups must cost more")
 	}
 	bs := small.Finish(1000)
@@ -136,7 +136,7 @@ func TestFillCostsMoreThanWrite(t *testing.T) {
 	m1.L1Fill()
 	m2 := NewMeter(DefaultParams(), Ports{})
 	m2.L1ReducedWrite()
-	if m1.dyn[L1] <= m2.dyn[L1] {
+	if m1.dynamic()[L1] <= m2.dynamic()[L1] {
 		t.Fatal("a full-line fill must cost more than a word write")
 	}
 }

@@ -1,0 +1,140 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"malec/internal/rng"
+)
+
+// feedRandom drives the identical pseudo-random event stream into both
+// meters.
+func feedRandom(drv *rng.Source, ms []*Meter, events int) {
+	for i := 0; i < events; i++ {
+		op := drv.Intn(18)
+		ways := 1 + drv.Intn(8)
+		for _, m := range ms {
+			switch op {
+			case 0:
+				m.L1ConventionalRead(ways)
+			case 1:
+				m.L1ReducedRead()
+			case 2:
+				m.L1Write(ways)
+			case 3:
+				m.L1ReducedWrite()
+			case 4:
+				m.L1MissCheck(ways)
+			case 5:
+				m.L1Fill()
+			case 6:
+				m.L1Eviction()
+			case 7:
+				m.UTLBLookup()
+			case 8:
+				m.TLBLookup()
+			case 9:
+				m.ReverseLookups(true, false)
+			case 10:
+				m.ReverseLookups(false, true)
+			case 11:
+				m.UWTRead()
+			case 12:
+				m.WTRead()
+			case 13:
+				m.UWTLineUpdate()
+			case 14:
+				m.WTLineUpdate()
+			case 15:
+				m.EntryTransfer()
+			case 16:
+				m.WDULookup()
+			case 17:
+				m.WDUUpdate()
+			}
+		}
+	}
+}
+
+// TestDeferredMatchesEagerRandomized bounds the deferred event-count
+// pricing against the per-event float accumulation reference at 1e-9
+// relative error for arbitrary event mixes, including varying ways
+// arguments (the deferred path prices the summed ways, which is exact up
+// to association for any mix).
+func TestDeferredMatchesEagerRandomized(t *testing.T) {
+	for _, ports := range []Ports{
+		{},
+		{HasWayTables: true},
+		{L1ExtraPorts: 1, TLBExtraPorts: 2},
+		{WDUEntries: 16, WDUPorts: 4},
+	} {
+		deferred := NewMeter(DefaultParams(), ports)
+		eager := NewMeter(DefaultParams(), ports)
+		eager.SetEager(true)
+		feedRandom(rng.New(31), []*Meter{deferred, eager}, 200000)
+		bd := deferred.Finish(1_000_000)
+		be := eager.Finish(1_000_000)
+		for c := Component(0); c < numComponents; c++ {
+			d, e := bd.Dynamic[c], be.Dynamic[c]
+			if d == e {
+				continue
+			}
+			rel := math.Abs(d-e) / math.Max(math.Abs(d), math.Abs(e))
+			if rel > 1e-9 {
+				t.Errorf("ports %+v component %v: deferred %v vs eager %v (rel err %g)",
+					ports, c, d, e, rel)
+			}
+			if bd.Leakage[c] != be.Leakage[c] {
+				t.Errorf("ports %+v component %v: leakage diverged (identical code path)", ports, c)
+			}
+		}
+	}
+}
+
+// TestFinishIdempotent pins that Finish is a pure pricing of the counters:
+// calling it twice yields identical breakdowns (the engine and the
+// experiment drivers may both inspect a result).
+func TestFinishIdempotent(t *testing.T) {
+	m := NewMeter(DefaultParams(), Ports{HasWayTables: true})
+	feedRandom(rng.New(5), []*Meter{m}, 10000)
+	b1 := m.Finish(1000)
+	b2 := m.Finish(1000)
+	if b1 != b2 {
+		t.Fatal("Finish is not idempotent")
+	}
+}
+
+// BenchmarkMeter measures the meter's per-event hot path (the cost paid on
+// every L1/TLB/way-table access of a simulation) for the deferred counter
+// path and the eager float reference, plus the one-time Finish pricing.
+func BenchmarkMeter(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		eager bool
+	}{{"deferred", false}, {"eager", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := NewMeter(DefaultParams(), Ports{HasWayTables: true})
+			m.SetEager(mode.eager)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.UTLBLookup()
+				m.L1ConventionalRead(4)
+				m.UWTRead()
+				m.L1Fill()
+			}
+			_ = m.Finish(uint64(b.N))
+		})
+	}
+	b.Run("finish", func(b *testing.B) {
+		m := NewMeter(DefaultParams(), Ports{HasWayTables: true})
+		feedRandom(rng.New(9), []*Meter{m}, 10000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var total float64
+		for i := 0; i < b.N; i++ {
+			total += m.Finish(1000).Total()
+		}
+		_ = total
+	})
+}

@@ -40,6 +40,16 @@ const (
 	numComponents
 )
 
+// Components returns every accounting bucket in reporting order (for
+// callers iterating a Breakdown's Dynamic/Leakage arrays by component).
+func Components() []Component {
+	cs := make([]Component, numComponents)
+	for i := range cs {
+		cs[i] = Component(i)
+	}
+	return cs
+}
+
 // String names the component.
 func (c Component) String() string {
 	switch c {
@@ -158,8 +168,43 @@ type Ports struct {
 	ParallelTLBL1 bool // VIPT-style parallel TLB+L1 lookup (1-cycle variants)
 }
 
+// event enumerates the meter's dynamic-energy event kinds. The hot path
+// only bumps uint64 counters per event; prices are applied once at Finish
+// (deferred pricing), so no floating-point work happens per access.
+type event int
+
+const (
+	evL1ConvRead event = iota
+	evL1ReducedRead
+	evL1Write
+	evL1ReducedWrite
+	evL1MissCheck
+	evL1Fill
+	evL1Eviction
+	evUTLBLookup
+	evTLBLookup
+	evUTLBReverse
+	evTLBReverse
+	evUWTRead
+	evWTRead
+	evUWTLineUpdate
+	evWTLineUpdate
+	evEntryTransfer
+	evWDULookup
+	evWDUUpdate
+	numEvents
+)
+
 // Meter accumulates per-component dynamic energy during a simulation and
 // converts leakage power into energy at Finish.
+//
+// By default it counts events in dense uint64 counters and prices them once
+// per Finish; SetEager(true) switches to the historical per-event float64
+// accumulation (one multiply-add per event), kept as the differential
+// reference — the two disagree only in floating-point association, bounded
+// at 1e-9 relative error by the energy and root differential tests. The
+// per-way events additionally accumulate their ways argument, so deferred
+// pricing stays exact for any mix of associativities.
 type Meter struct {
 	P     Params
 	ports Ports
@@ -167,7 +212,10 @@ type Meter struct {
 	dynMulL1  float64
 	dynMulTLB float64
 
-	dyn [numComponents]float64
+	counts   [numEvents]uint64
+	waysSum  [3]uint64 // ways accumulators: conv read, write, miss check
+	eager    bool
+	eagerDyn [numComponents]float64
 }
 
 // NewMeter returns a meter for the given parameters and port configuration.
@@ -180,65 +228,130 @@ func NewMeter(p Params, ports Ports) *Meter {
 	}
 }
 
+// SetEager selects per-event float accumulation (true) instead of deferred
+// event-count pricing (false, the default). Call before the first event;
+// the MALEC_EAGER_ENERGY=1 environment variable routes here from the
+// simulator for differential testing.
+func (m *Meter) SetEager(on bool) { m.eager = on }
+
+// waysSum indices.
+const (
+	waysConvRead = iota
+	waysWrite
+	waysMissCheck
+)
+
 // --- L1 events ---
 
 // L1ConventionalRead charges a parallel all-ways load lookup.
 func (m *Meter) L1ConventionalRead(ways int) {
-	m.dyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1TagFixed +
-		float64(ways)*m.P.L1TagPerWay + m.P.L1DataFixed +
-		float64(ways)*m.P.L1DataPerWay)
+	if m.eager {
+		m.eagerDyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1TagFixed +
+			float64(ways)*m.P.L1TagPerWay + m.P.L1DataFixed +
+			float64(ways)*m.P.L1DataPerWay)
+		return
+	}
+	m.counts[evL1ConvRead]++
+	m.waysSum[waysConvRead] += uint64(ways)
 }
 
 // L1ReducedRead charges a tag-bypassing single-data-way load.
 func (m *Meter) L1ReducedRead() {
-	m.dyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1DataFixed + m.P.L1DataPerWay)
+	if m.eager {
+		m.eagerDyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1DataFixed + m.P.L1DataPerWay)
+		return
+	}
+	m.counts[evL1ReducedRead]++
 }
 
 // L1Write charges a store: a tag check across ways plus one data-way write.
 func (m *Meter) L1Write(ways int) {
-	m.dyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1TagFixed +
-		float64(ways)*m.P.L1TagPerWay + m.P.L1DataFixed + m.P.L1DataPerWay)
+	if m.eager {
+		m.eagerDyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1TagFixed +
+			float64(ways)*m.P.L1TagPerWay + m.P.L1DataFixed + m.P.L1DataPerWay)
+		return
+	}
+	m.counts[evL1Write]++
+	m.waysSum[waysWrite] += uint64(ways)
 }
 
 // L1ReducedWrite charges a store with a known way (tags bypassed).
 func (m *Meter) L1ReducedWrite() {
-	m.dyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1DataFixed + m.P.L1DataPerWay)
+	if m.eager {
+		m.eagerDyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1DataFixed + m.P.L1DataPerWay)
+		return
+	}
+	m.counts[evL1ReducedWrite]++
 }
 
 // L1MissCheck charges the tag-only portion of an access that missed
 // (the parallel data readout of a conventional access is already charged by
 // the read event; misses detected by tag compare).
 func (m *Meter) L1MissCheck(ways int) {
-	m.dyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1TagFixed +
-		float64(ways)*m.P.L1TagPerWay)
+	if m.eager {
+		m.eagerDyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1TagFixed +
+			float64(ways)*m.P.L1TagPerWay)
+		return
+	}
+	m.counts[evL1MissCheck]++
+	m.waysSum[waysMissCheck] += uint64(ways)
 }
 
 // L1Fill charges a line fill (tag write + full-line data write).
 func (m *Meter) L1Fill() {
-	m.dyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1TagFixed + m.P.L1TagPerWay +
-		m.P.L1DataFixed + 4*m.P.L1DataPerWay)
+	if m.eager {
+		m.eagerDyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1TagFixed + m.P.L1TagPerWay +
+			m.P.L1DataFixed + 4*m.P.L1DataPerWay)
+		return
+	}
+	m.counts[evL1Fill]++
 }
 
 // L1Eviction charges reading a victim line out for writeback.
 func (m *Meter) L1Eviction() {
-	m.dyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1DataFixed + 2*m.P.L1DataPerWay)
+	if m.eager {
+		m.eagerDyn[L1] += m.dynMulL1 * (m.P.L1Control + m.P.L1DataFixed + 2*m.P.L1DataPerWay)
+		return
+	}
+	m.counts[evL1Eviction]++
 }
 
 // --- Translation events ---
 
 // UTLBLookup charges one micro-TLB search.
-func (m *Meter) UTLBLookup() { m.dyn[UTLB] += m.dynMulTLB * m.P.UTLBLookup }
+func (m *Meter) UTLBLookup() {
+	if m.eager {
+		m.eagerDyn[UTLB] += m.dynMulTLB * m.P.UTLBLookup
+		return
+	}
+	m.counts[evUTLBLookup]++
+}
 
 // TLBLookup charges one main-TLB search.
-func (m *Meter) TLBLookup() { m.dyn[TLB] += m.dynMulTLB * m.P.TLBLookup }
+func (m *Meter) TLBLookup() {
+	if m.eager {
+		m.eagerDyn[TLB] += m.dynMulTLB * m.P.TLBLookup
+		return
+	}
+	m.counts[evTLBLookup]++
+}
 
 // ReverseLookups charges the physical-tag searches of a line fill/eviction.
 func (m *Meter) ReverseLookups(utlb, tlb bool) {
+	if m.eager {
+		if utlb {
+			m.eagerDyn[UTLB] += m.dynMulTLB * m.P.UTLBReverse
+		}
+		if tlb {
+			m.eagerDyn[TLB] += m.dynMulTLB * m.P.TLBReverse
+		}
+		return
+	}
 	if utlb {
-		m.dyn[UTLB] += m.dynMulTLB * m.P.UTLBReverse
+		m.counts[evUTLBReverse]++
 	}
 	if tlb {
-		m.dyn[TLB] += m.dynMulTLB * m.P.TLBReverse
+		m.counts[evTLBReverse]++
 	}
 }
 
@@ -246,32 +359,101 @@ func (m *Meter) ReverseLookups(utlb, tlb bool) {
 
 // UWTRead charges one uWT entry read (once per arbitration group; the
 // scheme's energy is independent of the number of parallel references).
-func (m *Meter) UWTRead() { m.dyn[UWT] += m.P.UWTRead }
+func (m *Meter) UWTRead() {
+	if m.eager {
+		m.eagerDyn[UWT] += m.P.UWTRead
+		return
+	}
+	m.counts[evUWTRead]++
+}
 
 // WTRead charges one WT entry read.
-func (m *Meter) WTRead() { m.dyn[WT] += m.P.WTRead }
+func (m *Meter) WTRead() {
+	if m.eager {
+		m.eagerDyn[WT] += m.P.WTRead
+		return
+	}
+	m.counts[evWTRead]++
+}
 
 // UWTLineUpdate charges a single-line uWT code write.
-func (m *Meter) UWTLineUpdate() { m.dyn[UWT] += m.P.UWTLineUpdate }
+func (m *Meter) UWTLineUpdate() {
+	if m.eager {
+		m.eagerDyn[UWT] += m.P.UWTLineUpdate
+		return
+	}
+	m.counts[evUWTLineUpdate]++
+}
 
 // WTLineUpdate charges a single-line WT code write.
-func (m *Meter) WTLineUpdate() { m.dyn[WT] += m.P.WTLineUpdate }
+func (m *Meter) WTLineUpdate() {
+	if m.eager {
+		m.eagerDyn[WT] += m.P.WTLineUpdate
+		return
+	}
+	m.counts[evWTLineUpdate]++
+}
 
 // EntryTransfer charges a full uWT<->WT entry move.
 func (m *Meter) EntryTransfer() {
-	m.dyn[UWT] += m.P.EntryTransfer / 2
-	m.dyn[WT] += m.P.EntryTransfer / 2
+	if m.eager {
+		m.eagerDyn[UWT] += m.P.EntryTransfer / 2
+		m.eagerDyn[WT] += m.P.EntryTransfer / 2
+		return
+	}
+	m.counts[evEntryTransfer]++
 }
 
 // --- WDU events ---
 
 // WDULookup charges one associative WDU port search.
 func (m *Meter) WDULookup() {
-	m.dyn[WDU] += m.P.WDULookupBase + m.P.WDULookupPerEntry*float64(m.ports.WDUEntries)
+	if m.eager {
+		m.eagerDyn[WDU] += m.P.WDULookupBase + m.P.WDULookupPerEntry*float64(m.ports.WDUEntries)
+		return
+	}
+	m.counts[evWDULookup]++
 }
 
 // WDUUpdate charges one WDU insert/refresh.
-func (m *Meter) WDUUpdate() { m.dyn[WDU] += m.P.WDUUpdate }
+func (m *Meter) WDUUpdate() {
+	if m.eager {
+		m.eagerDyn[WDU] += m.P.WDUUpdate
+		return
+	}
+	m.counts[evWDUUpdate]++
+}
+
+// dynamic prices the accumulated event counts into per-component dynamic
+// energies. Per-way terms price the summed ways (exact: the per-event
+// energy is affine in ways, so the sum over events equals fixed*count +
+// perWay*waysSum up to float association).
+func (m *Meter) dynamic() [numComponents]float64 {
+	if m.eager {
+		return m.eagerDyn
+	}
+	n := func(e event) float64 { return float64(m.counts[e]) }
+	var d [numComponents]float64
+	d[L1] = m.dynMulL1 * (n(evL1ConvRead)*(m.P.L1Control+m.P.L1TagFixed+m.P.L1DataFixed) +
+		float64(m.waysSum[waysConvRead])*(m.P.L1TagPerWay+m.P.L1DataPerWay) +
+		n(evL1ReducedRead)*(m.P.L1Control+m.P.L1DataFixed+m.P.L1DataPerWay) +
+		n(evL1Write)*(m.P.L1Control+m.P.L1TagFixed+m.P.L1DataFixed+m.P.L1DataPerWay) +
+		float64(m.waysSum[waysWrite])*m.P.L1TagPerWay +
+		n(evL1ReducedWrite)*(m.P.L1Control+m.P.L1DataFixed+m.P.L1DataPerWay) +
+		n(evL1MissCheck)*(m.P.L1Control+m.P.L1TagFixed) +
+		float64(m.waysSum[waysMissCheck])*m.P.L1TagPerWay +
+		n(evL1Fill)*(m.P.L1Control+m.P.L1TagFixed+m.P.L1TagPerWay+m.P.L1DataFixed+4*m.P.L1DataPerWay) +
+		n(evL1Eviction)*(m.P.L1Control+m.P.L1DataFixed+2*m.P.L1DataPerWay))
+	d[UTLB] = m.dynMulTLB * (n(evUTLBLookup)*m.P.UTLBLookup + n(evUTLBReverse)*m.P.UTLBReverse)
+	d[TLB] = m.dynMulTLB * (n(evTLBLookup)*m.P.TLBLookup + n(evTLBReverse)*m.P.TLBReverse)
+	d[UWT] = n(evUWTRead)*m.P.UWTRead + n(evUWTLineUpdate)*m.P.UWTLineUpdate +
+		n(evEntryTransfer)*(m.P.EntryTransfer/2)
+	d[WT] = n(evWTRead)*m.P.WTRead + n(evWTLineUpdate)*m.P.WTLineUpdate +
+		n(evEntryTransfer)*(m.P.EntryTransfer/2)
+	d[WDU] = n(evWDULookup)*(m.P.WDULookupBase+m.P.WDULookupPerEntry*float64(m.ports.WDUEntries)) +
+		n(evWDUUpdate)*m.P.WDUUpdate
+	return d
+}
 
 // --- Results ---
 
@@ -286,7 +468,7 @@ type Breakdown struct {
 // each at 1 GHz).
 func (m *Meter) Finish(cycles uint64) Breakdown {
 	var b Breakdown
-	b.Dynamic = m.dyn
+	b.Dynamic = m.dynamic()
 	t := float64(cycles) // ns -> mW*ns = pJ
 	leakMulL1 := 1 + m.P.LeakPortPremium*float64(m.ports.L1ExtraPorts)
 	leakMulTLB := 1 + m.P.LeakPortPremium*float64(m.ports.TLBExtraPorts)*0.5

@@ -41,10 +41,12 @@ func KeyFor(cfg config.Config, benchmark string, instructions int, seed uint64) 
 // never change simulated results are normalized out first, so e.g. skip-on
 // and skip-off runs of the same machine share one cache entry.
 func ConfigDigest(cfg config.Config) string {
-	// Cycle skipping and the wakeup scheduler are semantically invisible
-	// (differentially tested); they must not split the content address.
+	// Cycle skipping, the wakeup scheduler and the memory-side indexes are
+	// semantically invisible (differentially tested); they must not split
+	// the content address.
 	cfg.DisableCycleSkip = false
 	cfg.DisableWakeup = false
+	cfg.DisableMemIndex = false
 	enc, err := json.Marshal(cfg)
 	if err != nil {
 		// config.Config contains only plain scalar fields; Marshal

@@ -6,15 +6,23 @@ import "malec/internal/mem"
 // assigned on first touch in a deterministic scrambled order, modelling an
 // OS allocator without preserving virtual contiguity (which matters for the
 // PIPT cache's set-index bit above the page offset).
+//
+// Storage is a pair of open-addressed flat tables (v->p mapping and
+// used-frame set) instead of Go maps: translations are on the simulation
+// hot path of every TLB walk, and large-footprint workloads (tlbthrash,
+// ptrchase) used to pay hundreds of map-growth allocations per run. The
+// assignment function itself is unchanged — only where it is stored.
 type PageTable struct {
-	m    map[mem.PageID]mem.PageID
-	used map[mem.PageID]struct{}
+	fwd  ptMap
+	used *mem.PageSet
 	next uint32
 }
 
 // NewPageTable returns an empty page table.
 func NewPageTable() *PageTable {
-	return &PageTable{m: make(map[mem.PageID]mem.PageID)}
+	pt := &PageTable{used: mem.NewPageSet(ptInitialSlots)}
+	pt.fwd.init(ptInitialSlots)
+	return pt
 }
 
 // Translate returns the physical page for v, allocating one on first use.
@@ -26,7 +34,7 @@ func NewPageTable() *PageTable {
 // are scrambled so physically-indexed structures see no artificial
 // contiguity.
 func (pt *PageTable) Translate(v mem.PageID) mem.PageID {
-	if p, ok := pt.m[v]; ok {
+	if p, ok := pt.fwd.get(v); ok {
 		return p
 	}
 	frame := pt.next
@@ -38,27 +46,87 @@ func (pt *PageTable) Translate(v mem.PageID) mem.PageID {
 	upper := frame * 2654435761
 	p := mem.PageID((upper<<1 | color) & (1<<mem.PageBits - 1))
 	// Linear-probe in colour-preserving steps to keep the map injective.
-	for pt.taken(p) {
+	for pt.used.Has(p) {
 		p = (p + 2) & (1<<mem.PageBits - 1)
 	}
-	pt.m[v] = p
-	pt.used[p] = struct{}{}
+	pt.fwd.put(v, p)
+	pt.used.Add(p)
 	return p
 }
 
-// taken reports whether physical page p is already assigned.
-func (pt *PageTable) taken(p mem.PageID) bool {
-	if pt.used == nil {
-		pt.used = make(map[mem.PageID]struct{})
-	}
-	_, ok := pt.used[p]
-	return ok
-}
-
 // Pages returns the number of mapped pages.
-func (pt *PageTable) Pages() int { return len(pt.m) }
+func (pt *PageTable) Pages() int { return pt.fwd.n }
 
 // TranslateAddr translates a full virtual address.
 func (pt *PageTable) TranslateAddr(va mem.Addr) mem.Addr {
 	return mem.MakeAddr(pt.Translate(va.Page()), va.PageOffset())
+}
+
+// ptInitialSlots is the initial open-addressed table size. Tables grow
+// 4x at half occupancy: large-footprint workloads (tlbthrash, ptrchase)
+// map tens of thousands of pages per run, and fewer growth steps mean
+// fewer full rehashes on the walk path.
+const ptInitialSlots = 4096
+
+// ptHash spreads page IDs over a power-of-two table.
+func ptHash(k mem.PageID, mask uint32) uint32 {
+	return (uint32(k) * 2654435761) & mask
+}
+
+// ptEntry is one fused map slot: key, value and presence share a cache
+// line, so a probe costs one memory access instead of three.
+type ptEntry struct {
+	key  mem.PageID
+	val  mem.PageID
+	used bool
+}
+
+// ptMap is a growable open-addressed PageID -> PageID map. The zero page
+// is a valid key and value; presence is the used flag.
+type ptMap struct {
+	slots []ptEntry
+	n     int
+}
+
+func (m *ptMap) init(slots int) {
+	m.slots = make([]ptEntry, slots)
+	m.n = 0
+}
+
+func (m *ptMap) get(k mem.PageID) (mem.PageID, bool) {
+	mask := uint32(len(m.slots) - 1)
+	for i := ptHash(k, mask); ; i = (i + 1) & mask {
+		e := &m.slots[i]
+		if !e.used {
+			return 0, false
+		}
+		if e.key == k {
+			return e.val, true
+		}
+	}
+}
+
+func (m *ptMap) put(k, v mem.PageID) {
+	if 2*(m.n+1) > len(m.slots) {
+		old := m.slots
+		m.init(4 * len(old))
+		for i := range old {
+			if old[i].used {
+				m.put(old[i].key, old[i].val)
+			}
+		}
+	}
+	mask := uint32(len(m.slots) - 1)
+	for i := ptHash(k, mask); ; i = (i + 1) & mask {
+		e := &m.slots[i]
+		if !e.used {
+			*e = ptEntry{key: k, val: v, used: true}
+			m.n++
+			return
+		}
+		if e.key == k {
+			e.val = v
+			return
+		}
+	}
 }

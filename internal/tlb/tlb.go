@@ -1,6 +1,10 @@
 package tlb
 
-import "malec/internal/mem"
+import (
+	"math/bits"
+
+	"malec/internal/mem"
+)
 
 // Entry is one fully-associative TLB entry.
 type Entry struct {
@@ -33,11 +37,28 @@ func (s Stats) MissRate() float64 {
 // cache line fills and evictions can locate the way-table entry of their
 // page ("uTLB and TLB need to be modified to allow lookups based on
 // physical, in addition to virtual, PageIDs").
+//
+// Lookups are O(1) by default: two compact chain indexes (VPage and PPage
+// bucket chains over the entry array, fixed flat arrays, zero steady-state
+// allocations) are maintained through insert/evict/invalidate, replacing
+// the linear scans over the entry array on the simulation hot path. The
+// scans are kept verbatim behind SetIndexed(false) — the differential
+// reference used by config.DisableMemIndex / MALEC_NO_MEM_INDEX=1 — and
+// both paths make identical replacement-policy calls and count identical
+// Stats. When several valid entries share a page (possible through the
+// public API, never through an injective page table) they coexist in one
+// chain and lookups return the lowest entry index, matching the scans.
 type TLB struct {
 	Name    string
 	entries []Entry
 	pol     Policy
 	stats   Stats
+
+	useIndex bool
+	vIdx     *mem.SlotIndex // VPage bucket chains over valid entries
+	pIdx     *mem.SlotIndex // PPage bucket chains over valid entries
+	freeMask []uint64       // bit set = entry invalid; lowest set bit is the scan's fill choice
+	live     int            // number of valid entries
 
 	// OnEvict, if non-nil, is invoked with the index and previous
 	// contents of a valid entry about to be displaced (way-table
@@ -49,8 +70,89 @@ type TLB struct {
 }
 
 // New returns a TLB with size entries and the given replacement policy.
+// The indexed lookup path is enabled; SetIndexed(false) reverts to scans.
 func New(name string, size int, pol Policy) *TLB {
-	return &TLB{Name: name, entries: make([]Entry, size), pol: pol}
+	t := &TLB{
+		Name:     name,
+		entries:  make([]Entry, size),
+		pol:      pol,
+		useIndex: true,
+		vIdx:     mem.NewSlotIndex(size),
+		pIdx:     mem.NewSlotIndex(size),
+		freeMask: make([]uint64, (size+63)/64),
+	}
+	for i := 0; i < size; i++ {
+		t.freeMask[i>>6] |= 1 << uint(i&63)
+	}
+	return t
+}
+
+// SetIndexed selects between the indexed (default) and scan lookup paths.
+// The indexes are maintained either way, so the toggle may flip at any
+// time; it changes host-simulator work only, never simulated results
+// (differentially tested).
+func (t *TLB) SetIndexed(on bool) { t.useIndex = on }
+
+// setEntry installs e in slot idx, keeping the chain indexes and the free
+// mask in sync with the entry array. Every valid entry is linked into both
+// indexes, so duplicate pages (legal through the public API, impossible
+// through an injective page table) simply coexist in a chain and lookups
+// resolve them by taking the lowest index, exactly as the scans do.
+func (t *TLB) setEntry(idx int, e Entry) {
+	old := t.entries[idx]
+	t.entries[idx] = e
+	if old.Valid {
+		t.vIdx.Remove(uint32(old.VPage), int32(idx))
+		t.pIdx.Remove(uint32(old.PPage), int32(idx))
+		if !e.Valid {
+			t.freeMask[idx>>6] |= 1 << uint(idx&63)
+			t.live--
+		}
+	} else if e.Valid {
+		t.freeMask[idx>>6] &^= 1 << uint(idx&63)
+		t.live++
+	}
+	if e.Valid {
+		t.vIdx.Add(uint32(e.VPage), int32(idx))
+		t.pIdx.Add(uint32(e.PPage), int32(idx))
+	}
+}
+
+// findV returns the lowest valid entry index holding virtual page v, or
+// -1, via the VPage chain index (indexed entries are always valid).
+func (t *TLB) findV(v mem.PageID) int {
+	best := int32(-1)
+	for i := t.vIdx.First(uint32(v)); i >= 0; i = t.vIdx.Next(i) {
+		if t.entries[i].VPage == v && (best < 0 || i < best) {
+			best = i
+		}
+	}
+	return int(best)
+}
+
+// findP is findV for physical pages.
+func (t *TLB) findP(p mem.PageID) int {
+	best := int32(-1)
+	for i := t.pIdx.First(uint32(p)); i >= 0; i = t.pIdx.Next(i) {
+		if t.entries[i].PPage == p && (best < 0 || i < best) {
+			best = i
+		}
+	}
+	return int(best)
+}
+
+// firstFree returns the lowest invalid entry index, or -1 when full — the
+// same choice the scan fill path makes, read from the free mask.
+func (t *TLB) firstFree() int {
+	if t.live == len(t.entries) {
+		return -1
+	}
+	for w, word := range t.freeMask {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
 }
 
 // Size returns the number of entries.
@@ -66,6 +168,15 @@ func (t *TLB) Entry(i int) Entry { return t.entries[i] }
 // state and returns the entry index.
 func (t *TLB) Lookup(v mem.PageID) (idx int, e Entry, hit bool) {
 	t.stats.Lookups++
+	if t.useIndex {
+		if i := t.findV(v); i >= 0 {
+			t.stats.Hits++
+			t.pol.Touch(i)
+			return i, t.entries[i], true
+		}
+		t.stats.Misses++
+		return -1, Entry{}, false
+	}
 	for i := range t.entries {
 		if t.entries[i].Valid && t.entries[i].VPage == v {
 			t.stats.Hits++
@@ -79,6 +190,12 @@ func (t *TLB) Lookup(v mem.PageID) (idx int, e Entry, hit bool) {
 
 // Probe is Lookup without statistics or replacement-state side effects.
 func (t *TLB) Probe(v mem.PageID) (idx int, e Entry, hit bool) {
+	if t.useIndex {
+		if i := t.findV(v); i >= 0 {
+			return i, t.entries[i], true
+		}
+		return -1, Entry{}, false
+	}
 	for i := range t.entries {
 		if t.entries[i].Valid && t.entries[i].VPage == v {
 			return i, t.entries[i], true
@@ -91,6 +208,13 @@ func (t *TLB) Probe(v mem.PageID) (idx int, e Entry, hit bool) {
 // fills/evictions to find the page's way-table entry).
 func (t *TLB) ReverseLookup(p mem.PageID) (idx int, e Entry, hit bool) {
 	t.stats.ReverseLookups++
+	if t.useIndex {
+		if i := t.findP(p); i >= 0 {
+			t.stats.ReverseHits++
+			return i, t.entries[i], true
+		}
+		return -1, Entry{}, false
+	}
 	for i := range t.entries {
 		if t.entries[i].Valid && t.entries[i].PPage == p {
 			t.stats.ReverseHits++
@@ -105,10 +229,14 @@ func (t *TLB) ReverseLookup(p mem.PageID) (idx int, e Entry, hit bool) {
 func (t *TLB) Insert(v, p mem.PageID) int {
 	t.stats.Inserts++
 	idx := -1
-	for i := range t.entries {
-		if !t.entries[i].Valid {
-			idx = i
-			break
+	if t.useIndex {
+		idx = t.firstFree()
+	} else {
+		for i := range t.entries {
+			if !t.entries[i].Valid {
+				idx = i
+				break
+			}
 		}
 	}
 	if idx < 0 {
@@ -120,7 +248,7 @@ func (t *TLB) Insert(v, p mem.PageID) int {
 			}
 		}
 	}
-	t.entries[idx] = Entry{VPage: v, PPage: p, Valid: true}
+	t.setEntry(idx, Entry{VPage: v, PPage: p, Valid: true})
 	t.pol.Touch(idx)
 	if t.OnInsert != nil {
 		t.OnInsert(idx, t.entries[idx])
@@ -134,7 +262,7 @@ func (t *TLB) Invalidate(v mem.PageID) {
 		if t.OnEvict != nil {
 			t.OnEvict(i, t.entries[i])
 		}
-		t.entries[i] = Entry{}
+		t.setEntry(i, Entry{})
 	}
 }
 

@@ -138,10 +138,13 @@ type Generator struct {
 	active  int
 	idx     uint64 // dynamic instruction index of the next record
 
-	lastLoadIdx  uint64 // dynamic index of the most recent load
-	haveLoad     bool
-	storeStream  stream
-	pagesTouched map[mem.PageID]struct{}
+	lastLoadIdx uint64 // dynamic index of the most recent load
+	haveLoad    bool
+	storeStream stream
+	// pagesTouched is an open-addressed footprint set: it is written once
+	// per memory record, where a Go map insert is measurable on the
+	// generation hot path.
+	pagesTouched *mem.PageSet
 
 	// lineBaseIdx is the dynamic index of the load that opened the
 	// current same-line run (the "pointer" load whose result the
@@ -159,7 +162,7 @@ func NewGenerator(prof Profile, seed uint64) *Generator {
 	g := &Generator{
 		prof:         prof,
 		rnd:          rng.New(seed ^ hashName(prof.Name)),
-		pagesTouched: make(map[mem.PageID]struct{}),
+		pagesTouched: mem.NewPageSet(4096),
 	}
 	// Spread stream origins over the working set so streams touch
 	// disjoint regions, as independent data structures would.
@@ -205,14 +208,19 @@ func (g *Generator) Profile() Profile { return g.prof }
 
 // Next produces the next trace record.
 func (g *Generator) Next() Record {
-	defer func() { g.idx++ }()
+	var r Record
+	// The index increment is explicit rather than deferred: Next runs once
+	// per simulated instruction, and a deferred closure costs more than
+	// the record generation itself on short-record kinds.
 	if !g.rnd.Bool(g.prof.MemRatio) {
-		return g.nextOp()
+		r = g.nextOp()
+	} else if g.rnd.Bool(g.prof.LoadFrac) {
+		r = g.nextLoad()
+	} else {
+		r = g.nextStore()
 	}
-	if g.rnd.Bool(g.prof.LoadFrac) {
-		return g.nextLoad()
-	}
-	return g.nextStore()
+	g.idx++
+	return r
 }
 
 // Generate produces n records.
@@ -225,7 +233,7 @@ func (g *Generator) Generate(n int) []Record {
 }
 
 // PagesTouched returns the number of distinct pages generated so far.
-func (g *Generator) PagesTouched() int { return len(g.pagesTouched) }
+func (g *Generator) PagesTouched() int { return g.pagesTouched.Len() }
 
 // nextOp generates a non-memory instruction (ALU op or branch), possibly
 // dependent on the most recent load (address/branch computation fed by
@@ -357,7 +365,7 @@ func (g *Generator) advance(s *stream, samePage, sameLine float64) {
 
 // touch records a page as part of the observed footprint.
 func (g *Generator) touch(a mem.Addr) {
-	g.pagesTouched[a.Page()] = struct{}{}
+	g.pagesTouched.Add(a.Page())
 }
 
 // accessSize draws an access size: 16 bytes with WideAccessFrac, otherwise

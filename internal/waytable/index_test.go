@@ -1,0 +1,256 @@
+package waytable
+
+import (
+	"testing"
+
+	"malec/internal/mem"
+	"malec/internal/rng"
+	"malec/internal/tlb"
+)
+
+// driveStores runs the identical randomized slot/line workload against an
+// indexed store and a scan-configured reference, comparing every return
+// value. The page space is small enough that slots are recycled and (via
+// direct Reset calls) duplicate pages occur, and for segmented tables the
+// pool is undersized so FIFO chunk replacement engages.
+func driveStores(t *testing.T, indexed, scan Store, slots int) {
+	t.Helper()
+	const pageSpace = 16
+	const ops = 30000
+	drv := rng.New(42)
+	for op := 0; op < ops; op++ {
+		idx := drv.Intn(slots)
+		page := mem.PageID(drv.Intn(pageSpace))
+		line := uint32(drv.Intn(mem.LinesPerPage))
+		way := drv.Intn(mem.L1Ways)
+		switch drv.Intn(8) {
+		case 0:
+			indexed.Reset(idx, page)
+			scan.Reset(idx, page)
+		case 1:
+			indexed.InvalidateSlot(idx)
+			scan.InvalidateSlot(idx)
+		case 2:
+			indexed.SetLine(idx, line, way)
+			scan.SetLine(idx, line, way)
+		case 3:
+			indexed.InvalidateLine(idx, line)
+			scan.InvalidateLine(idx, line)
+		case 4:
+			if s1, s2 := indexed.SlotFor(page), scan.SlotFor(page); s1 != s2 {
+				t.Fatalf("op %d: SlotFor(%d) diverged: %d vs %d", op, page, s1, s2)
+			}
+		case 5:
+			w1, k1 := indexed.Read(idx, line)
+			w2, k2 := scan.Read(idx, line)
+			if w1 != w2 || k1 != k2 {
+				t.Fatalf("op %d: Read(%d,%d) diverged: (%d,%v) vs (%d,%v)",
+					op, idx, line, w1, k1, w2, k2)
+			}
+		case 6:
+			p1, v1 := indexed.PageAt(idx)
+			p2, v2 := scan.PageAt(idx)
+			if p1 != p2 || v1 != v2 {
+				t.Fatalf("op %d: PageAt(%d) diverged", op, idx)
+			}
+		case 7:
+			dst := drv.Intn(slots)
+			indexed.CopyFrom(dst, indexed, idx)
+			scan.CopyFrom(dst, scan, idx)
+		}
+	}
+	// Final sweep: every page's SlotFor and every slot's full line state.
+	for page := mem.PageID(0); page < pageSpace; page++ {
+		if s1, s2 := indexed.SlotFor(page), scan.SlotFor(page); s1 != s2 {
+			t.Fatalf("final SlotFor(%d): %d vs %d", page, s1, s2)
+		}
+	}
+	for idx := 0; idx < slots; idx++ {
+		for line := uint32(0); line < mem.LinesPerPage; line++ {
+			w1, k1 := indexed.Peek(idx, line)
+			w2, k2 := scan.Peek(idx, line)
+			if w1 != w2 || k1 != k2 {
+				t.Fatalf("final Peek(%d,%d): (%d,%v) vs (%d,%v)", idx, line, w1, k1, w2, k2)
+			}
+		}
+	}
+}
+
+// TestTableIndexedMatchesScanRandomized cross-checks the full Table's
+// indexed SlotFor against the scan reference over a randomized workload.
+func TestTableIndexedMatchesScanRandomized(t *testing.T) {
+	const slots = 8
+	indexed := NewTable("idx", slots)
+	scan := NewTable("scan", slots)
+	scan.SetIndexed(false)
+	driveStores(t, indexed, scan, slots)
+	if indexed.Stats() != scan.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", indexed.Stats(), scan.Stats())
+	}
+}
+
+// TestSegmentedIndexedMatchesScanRandomized cross-checks the segmented
+// table (indexed SlotFor, direct-mapped chunk association, packed codes,
+// bitmap free list) against a scan-configured instance under pool pressure
+// (pool half the full-table chunk demand, so FIFO replacement runs).
+func TestSegmentedIndexedMatchesScanRandomized(t *testing.T) {
+	const slots, chunkLines = 8, 16
+	pool := slots * (mem.LinesPerPage / chunkLines) / 2
+	indexed := NewSegmentedTable("idx", slots, chunkLines, pool)
+	scan := NewSegmentedTable("scan", slots, chunkLines, pool)
+	scan.SetIndexed(false)
+	driveStores(t, indexed, scan, slots)
+	if indexed.Stats() != scan.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", indexed.Stats(), scan.Stats())
+	}
+}
+
+// chainTLBHooks wraps a TLB's already-installed OnEvict/OnInsert hooks
+// (the PageSystem's synchronization callbacks) with recorders, preserving
+// the original behaviour.
+func chainTLBHooks(name string, t *tlb.TLB, log *[]hookRec) {
+	evict, insert := t.OnEvict, t.OnInsert
+	t.OnEvict = func(idx int, old tlb.Entry) {
+		*log = append(*log, hookRec{name, "evict", idx, old})
+		if evict != nil {
+			evict(idx, old)
+		}
+	}
+	t.OnInsert = func(idx int, e tlb.Entry) {
+		*log = append(*log, hookRec{name, "insert", idx, e})
+		if insert != nil {
+			insert(idx, e)
+		}
+	}
+}
+
+type hookRec struct {
+	tlb  string
+	kind string
+	idx  int
+	e    tlb.Entry
+}
+
+// TestPageSystemHookOrderIndexedVsScan builds two complete
+// hierarchy+page-system stacks — one indexed, one scan — and drives
+// identical translate/fill/evict/feedback traffic, recording the order of
+// every TLB OnEvict/OnInsert hook (through which all WT/uWT
+// synchronization flows). The sequences must be identical, and so must
+// every way-determination lookup.
+func TestPageSystemHookOrderIndexedVsScan(t *testing.T) {
+	type stack struct {
+		sys   *PageSystem
+		hier  *tlb.Hierarchy
+		hooks *[]hookRec
+	}
+	build := func(indexed bool) stack {
+		u := tlb.New("uTLB", 4, tlb.NewPolicy("second-chance", 4, rng.New(1)))
+		m := tlb.New("TLB", 16, tlb.NewPolicy("random", 16, rng.New(2)))
+		h := &tlb.Hierarchy{U: u, Main: m, PT: tlb.NewPageTable()}
+		sys := NewPageSystem(h)
+		if !indexed {
+			u.SetIndexed(false)
+			m.SetIndexed(false)
+			sys.SetIndexed(false)
+		}
+		log := &[]hookRec{}
+		chainTLBHooks("u", u, log)
+		chainTLBHooks("m", m, log)
+		return stack{sys: sys, hier: h, hooks: log}
+	}
+	a := build(true)
+	b := build(false)
+	drv := rng.New(17)
+	for op := 0; op < 20000; op++ {
+		page := mem.PageID(drv.Intn(64))
+		off := uint32(drv.Intn(mem.PageSize)) &^ 7
+		va := mem.MakeAddr(page, off)
+		switch drv.Intn(4) {
+		case 0, 1:
+			ra := a.hier.Translate(va.Page())
+			rb := b.hier.Translate(va.Page())
+			if ra != rb {
+				t.Fatalf("op %d: Translate diverged: %+v vs %+v", op, ra, rb)
+			}
+			pa := mem.MakeAddr(ra.PPage, off)
+			wa, ka := a.sys.Lookup(pa, ra.UIdx)
+			wb, kb := b.sys.Lookup(pa, rb.UIdx)
+			if wa != wb || ka != kb {
+				t.Fatalf("op %d: way lookup diverged: (%d,%v) vs (%d,%v)", op, wa, ka, wb, kb)
+			}
+			if !ka {
+				way := drv.Intn(mem.L1Ways)
+				a.sys.Feedback(pa, ra.UIdx, way)
+				b.sys.Feedback(pa, rb.UIdx, way)
+			}
+		case 2:
+			pa := mem.MakeAddr(mem.PageID(drv.Intn(1<<14)), off)
+			way := drv.Intn(mem.L1Ways)
+			a.sys.OnFill(pa.LineAddr(), 0, way)
+			b.sys.OnFill(pa.LineAddr(), 0, way)
+		case 3:
+			pa := mem.MakeAddr(mem.PageID(drv.Intn(1<<14)), off)
+			a.sys.OnEvict(pa.LineAddr(), 0, 0)
+			b.sys.OnEvict(pa.LineAddr(), 0, 0)
+		}
+	}
+	if len(*a.hooks) != len(*b.hooks) {
+		t.Fatalf("hook counts diverged: %d vs %d", len(*a.hooks), len(*b.hooks))
+	}
+	for i := range *a.hooks {
+		if (*a.hooks)[i] != (*b.hooks)[i] {
+			t.Fatalf("hook %d diverged: %+v vs %+v", i, (*a.hooks)[i], (*b.hooks)[i])
+		}
+	}
+	ka, ta := a.sys.Coverage()
+	kb, tb := b.sys.Coverage()
+	if ka != kb || ta != tb {
+		t.Fatalf("coverage diverged: %d/%d vs %d/%d", ka, ta, kb, tb)
+	}
+}
+
+// BenchmarkWayTableRead measures the way-table hot path — SlotFor (the
+// reverse-lookup-driven maintenance entry point) followed by an entry
+// read — for the full and segmented tables, indexed vs scan.
+func BenchmarkWayTableRead(b *testing.B) {
+	const slots = 64
+	mk := func(seg bool) Store {
+		if seg {
+			return NewSegmentedTable("seg", slots, 16, slots*4)
+		}
+		return NewTable("full", slots)
+	}
+	for _, bench := range []struct {
+		name    string
+		seg     bool
+		indexed bool
+	}{
+		{"table/indexed", false, true},
+		{"table/scan", false, false},
+		{"segmented/indexed", true, true},
+		{"segmented/scan", true, false},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			st := mk(bench.seg)
+			if x, ok := st.(interface{ SetIndexed(bool) }); ok {
+				x.SetIndexed(bench.indexed)
+			}
+			for i := 0; i < slots; i++ {
+				st.Reset(i, mem.PageID(100+i))
+				for l := uint32(0); l < mem.LinesPerPage; l += 2 {
+					st.SetLine(i, l, int(l/4)%mem.L1Ways)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				page := mem.PageID(100 + i%slots)
+				s := st.SlotFor(page)
+				if s < 0 {
+					b.Fatal("resident page has no slot")
+				}
+				st.Read(s, uint32(i)%mem.LinesPerPage)
+			}
+		})
+	}
+}

@@ -1,6 +1,10 @@
 package waytable
 
-import "malec/internal/mem"
+import (
+	"math/bits"
+
+	"malec/internal/mem"
+)
 
 // Store is the way-information storage interface shared by the full Table
 // and the SegmentedTable, letting the PageSystem run on either. The paper
@@ -49,24 +53,41 @@ func (t *Table) CopyFrom(dstIdx int, src Store, srcIdx int) {
 // StorageBits implements Store for the full table.
 func (t *Table) StorageBits() int { return len(t.entries) * BitsPerEntry }
 
-// segChunk is one shared pool chunk covering chunkLines lines of one page.
+// segChunk is one shared pool chunk covering chunkLines lines of one page;
+// its line codes live packed in the table-wide codes slab.
 type segChunk struct {
-	owner int    // slot index owning the chunk, -1 when free
+	owner int32  // slot index owning the chunk, -1 when free
 	part  uint32 // which chunk of the page (lineInPage / chunkLines)
-	codes []uint8
 }
 
 // SegmentedTable is a way table whose line codes live in a shared pool of
 // fixed-size chunks, allocated on demand and replaced FIFO. With fewer pool
 // chunks than slots*chunksPerPage it trades coverage for area — the
 // trade-off the paper proposes for wide pages.
+//
+// The host-side representation is scan-free: line codes are packed into one
+// flat slab (chunk i owns codes[i*chunkLines : (i+1)*chunkLines]), the
+// (slot, part) -> chunk association is a direct-mapped table consulted by
+// Read/Peek/SetLine instead of a pool scan, free chunks come from a bitmap
+// whose lowest set bit reproduces the scan's first-free choice, and SlotFor
+// goes through a page->slot hash index (scan kept behind SetIndexed(false)
+// as the differential reference). Allocation and replacement decisions are
+// identical to the scanning implementation.
 type SegmentedTable struct {
-	name       string
-	chunkLines int
-	slots      []segSlot
-	pool       []segChunk
-	fifo       int
-	stats      TableStats
+	name         string
+	chunkLines   int
+	partsPerPage int
+	slots        []segSlot
+	pool         []segChunk
+	codes        []uint8  // packed line codes, chunkLines per pool chunk
+	chunkOf      []int32  // slot*partsPerPage+part -> pool chunk, -1 absent
+	freeMask     []uint64 // bit set = pool chunk free
+	freeCount    int
+	fifo         int
+	stats        TableStats
+
+	useIndex bool
+	idx      *mem.SlotIndex // page bucket chains over valid slots
 }
 
 type segSlot struct {
@@ -80,13 +101,31 @@ func NewSegmentedTable(name string, size, chunkLines, poolChunks int) *Segmented
 	if mem.LinesPerPage%chunkLines != 0 {
 		panic("waytable: chunkLines must divide lines per page")
 	}
-	t := &SegmentedTable{name: name, chunkLines: chunkLines,
-		slots: make([]segSlot, size), pool: make([]segChunk, poolChunks)}
+	t := &SegmentedTable{
+		name:         name,
+		chunkLines:   chunkLines,
+		partsPerPage: mem.LinesPerPage / chunkLines,
+		slots:        make([]segSlot, size),
+		pool:         make([]segChunk, poolChunks),
+		codes:        make([]uint8, poolChunks*chunkLines),
+		freeMask:     make([]uint64, (poolChunks+63)/64),
+		freeCount:    poolChunks,
+		useIndex:     true,
+		idx:          mem.NewSlotIndex(size),
+	}
+	t.chunkOf = make([]int32, size*t.partsPerPage)
+	for i := range t.chunkOf {
+		t.chunkOf[i] = -1
+	}
 	for i := range t.pool {
-		t.pool[i] = segChunk{owner: -1, codes: make([]uint8, chunkLines)}
+		t.pool[i] = segChunk{owner: -1}
+		t.freeMask[i>>6] |= 1 << uint(i&63)
 	}
 	return t
 }
+
+// SetIndexed selects between the indexed (default) and scan SlotFor paths.
+func (t *SegmentedTable) SetIndexed(on bool) { t.useIndex = on }
 
 // Size implements Store.
 func (t *SegmentedTable) Size() int { return len(t.slots) }
@@ -103,27 +142,59 @@ func (t *SegmentedTable) StorageBits() int {
 // Reset implements Store: claims the slot and frees its old chunks.
 func (t *SegmentedTable) Reset(idx int, page mem.PageID) {
 	t.freeChunks(idx)
-	t.slots[idx] = segSlot{page: page, valid: true}
+	t.setSlot(idx, page, true)
 	t.stats.Resets++
 }
 
 // InvalidateSlot implements Store.
 func (t *SegmentedTable) InvalidateSlot(idx int) {
 	t.freeChunks(idx)
-	t.slots[idx].valid = false
+	t.setSlot(idx, t.slots[idx].page, false)
 }
 
-// freeChunks releases every pool chunk owned by slot idx.
+// setSlot updates slot idx's page/valid state, keeping the chain index in
+// sync; duplicate pages coexist in a chain and SlotFor resolves to the
+// lowest slot, matching the scan.
+func (t *SegmentedTable) setSlot(idx int, page mem.PageID, valid bool) {
+	if t.slots[idx].valid {
+		t.idx.Remove(uint32(t.slots[idx].page), int32(idx))
+	}
+	t.slots[idx] = segSlot{page: page, valid: valid}
+	if valid {
+		t.idx.Add(uint32(page), int32(idx))
+	}
+}
+
+// freeChunks releases every pool chunk owned by slot idx, found through
+// the slot's direct-mapped chunk table rather than a pool scan.
 func (t *SegmentedTable) freeChunks(idx int) {
-	for i := range t.pool {
-		if t.pool[i].owner == idx {
-			t.pool[i].owner = -1
+	base := idx * t.partsPerPage
+	for part := 0; part < t.partsPerPage; part++ {
+		if c := t.chunkOf[base+part]; c >= 0 {
+			t.release(int(c))
+			t.chunkOf[base+part] = -1
 		}
 	}
 }
 
+// release returns pool chunk c to the free set.
+func (t *SegmentedTable) release(c int) {
+	t.pool[c].owner = -1
+	t.freeMask[c>>6] |= 1 << uint(c&63)
+	t.freeCount++
+}
+
 // SlotFor implements Store.
 func (t *SegmentedTable) SlotFor(p mem.PageID) int {
+	if t.useIndex {
+		best := int32(-1)
+		for i := t.idx.First(uint32(p)); i >= 0; i = t.idx.Next(i) {
+			if t.slots[i].page == p && (best < 0 || i < best) {
+				best = i
+			}
+		}
+		return int(best)
+	}
 	for i := range t.slots {
 		if t.slots[i].valid && t.slots[i].page == p {
 			return i
@@ -137,22 +208,23 @@ func (t *SegmentedTable) PageAt(idx int) (mem.PageID, bool) {
 	return t.slots[idx].page, t.slots[idx].valid
 }
 
-// chunkFor finds the pool chunk for (slot, part), or -1.
+// chunkFor finds the pool chunk for (slot, part), or -1, through the
+// direct-mapped association table.
 func (t *SegmentedTable) chunkFor(idx int, part uint32) int {
-	for i := range t.pool {
-		if t.pool[i].owner == idx && t.pool[i].part == part {
-			return i
-		}
-	}
-	return -1
+	return int(t.chunkOf[idx*t.partsPerPage+int(part)])
 }
 
-// allocChunk claims a pool chunk for (slot, part), FIFO-replacing.
+// allocChunk claims a pool chunk for (slot, part): the lowest-numbered free
+// chunk if any (the choice the free scan used to make), FIFO-replacing
+// otherwise.
 func (t *SegmentedTable) allocChunk(idx int, part uint32) int {
-	for i := range t.pool {
-		if t.pool[i].owner == -1 {
-			t.claim(i, idx, part)
-			return i
+	if t.freeCount > 0 {
+		for w, word := range t.freeMask {
+			if word != 0 {
+				c := w<<6 + bits.TrailingZeros64(word)
+				t.claim(c, idx, part)
+				return c
+			}
 		}
 	}
 	victim := t.fifo
@@ -161,12 +233,21 @@ func (t *SegmentedTable) allocChunk(idx int, part uint32) int {
 	return victim
 }
 
-// claim resets a chunk for a new owner.
+// claim resets chunk i for a new owner, detaching any previous owner's
+// association and clearing the chunk's packed codes.
 func (t *SegmentedTable) claim(i, idx int, part uint32) {
-	t.pool[i].owner = idx
+	if old := t.pool[i].owner; old >= 0 {
+		t.chunkOf[int(old)*t.partsPerPage+int(t.pool[i].part)] = -1
+	} else {
+		t.freeMask[i>>6] &^= 1 << uint(i&63)
+		t.freeCount--
+	}
+	t.pool[i].owner = int32(idx)
 	t.pool[i].part = part
-	for j := range t.pool[i].codes {
-		t.pool[i].codes[j] = codeUnknown
+	t.chunkOf[idx*t.partsPerPage+int(part)] = int32(i)
+	codes := t.codes[i*t.chunkLines : (i+1)*t.chunkLines]
+	for j := range codes {
+		codes[j] = codeUnknown
 	}
 }
 
@@ -186,7 +267,7 @@ func (t *SegmentedTable) Peek(idx int, lineInPage uint32) (way int, known bool) 
 	if c < 0 {
 		return -1, false
 	}
-	return decode(lineInPage, t.pool[c].codes[lineInPage%uint32(t.chunkLines)])
+	return decode(lineInPage, t.codes[c*t.chunkLines+int(lineInPage)%t.chunkLines])
 }
 
 // SetLine implements Store, allocating the chunk on demand.
@@ -199,7 +280,7 @@ func (t *SegmentedTable) SetLine(idx int, lineInPage uint32, way int) {
 	if c < 0 {
 		c = t.allocChunk(idx, part)
 	}
-	t.pool[c].codes[lineInPage%uint32(t.chunkLines)] = encode(lineInPage, way)
+	t.codes[c*t.chunkLines+int(lineInPage)%t.chunkLines] = encode(lineInPage, way)
 	t.stats.LineUpdates++
 }
 
@@ -210,7 +291,7 @@ func (t *SegmentedTable) InvalidateLine(idx int, lineInPage uint32) {
 	}
 	part := lineInPage / uint32(t.chunkLines)
 	if c := t.chunkFor(idx, part); c >= 0 {
-		t.pool[c].codes[lineInPage%uint32(t.chunkLines)] = codeUnknown
+		t.codes[c*t.chunkLines+int(lineInPage)%t.chunkLines] = codeUnknown
 		t.stats.LineUpdates++
 	}
 }

@@ -13,22 +13,66 @@ type TableStats struct {
 // Table is a WT or uWT: way-table entries indexed in lockstep with the
 // entries of its companion (u)TLB, plus a record of which physical page
 // each slot currently describes.
+//
+// SlotFor is O(1) by default through a compact page chain index maintained
+// on every slot mutation; the linear scan remains behind SetIndexed(false)
+// as the differential reference (config.DisableMemIndex /
+// MALEC_NO_MEM_INDEX=1). When several valid slots describe the same page
+// (possible through the public API, never through the PageSystem) the
+// lookup returns the lowest slot, matching the scan.
 type Table struct {
 	Name    string
 	entries []Entry
 	pages   []mem.PageID // physical page per slot
 	valid   []bool
 	stats   TableStats
+
+	useIndex bool
+	idx      *mem.SlotIndex // page bucket chains over valid slots
 }
 
-// NewTable returns a table with size entries (matching its TLB).
+// NewTable returns a table with size entries (matching its TLB). The
+// indexed SlotFor path is enabled; SetIndexed(false) reverts to the scan.
 func NewTable(name string, size int) *Table {
 	return &Table{
-		Name:    name,
-		entries: make([]Entry, size),
-		pages:   make([]mem.PageID, size),
-		valid:   make([]bool, size),
+		Name:     name,
+		entries:  make([]Entry, size),
+		pages:    make([]mem.PageID, size),
+		valid:    make([]bool, size),
+		useIndex: true,
+		idx:      mem.NewSlotIndex(size),
 	}
+}
+
+// SetIndexed selects between the indexed (default) and scan SlotFor paths.
+// The index is maintained either way, so the toggle may flip at any time;
+// it is host-simulator work only (differentially tested).
+func (t *Table) SetIndexed(on bool) { t.useIndex = on }
+
+// setPage updates slot idx's page/valid state, keeping the chain index in
+// sync. Duplicate pages (possible through the public API, never through
+// the PageSystem) coexist in a chain; SlotFor resolves to the lowest.
+func (t *Table) setPage(idx int, page mem.PageID, valid bool) {
+	if t.valid[idx] {
+		t.idx.Remove(uint32(t.pages[idx]), int32(idx))
+	}
+	t.pages[idx] = page
+	t.valid[idx] = valid
+	if valid {
+		t.idx.Add(uint32(page), int32(idx))
+	}
+}
+
+// findSlot returns the lowest valid slot describing page, or -1, via the
+// chain index (indexed slots are always valid).
+func (t *Table) findSlot(page mem.PageID) int {
+	best := int32(-1)
+	for i := t.idx.First(uint32(page)); i >= 0; i = t.idx.Next(i) {
+		if t.pages[i] == page && (best < 0 || i < best) {
+			best = i
+		}
+	}
+	return int(best)
 }
 
 // Size returns the number of entries.
@@ -40,19 +84,21 @@ func (t *Table) Stats() TableStats { return t.stats }
 // Reset clears slot idx for a new physical page, invalidating all lines.
 func (t *Table) Reset(idx int, page mem.PageID) {
 	t.entries[idx].Reset()
-	t.pages[idx] = page
-	t.valid[idx] = true
+	t.setPage(idx, page, true)
 	t.stats.Resets++
 }
 
 // InvalidateSlot clears slot idx entirely.
 func (t *Table) InvalidateSlot(idx int) {
 	t.entries[idx].Reset()
-	t.valid[idx] = false
+	t.setPage(idx, t.pages[idx], false)
 }
 
 // SlotFor returns the slot currently describing physical page p, or -1.
 func (t *Table) SlotFor(p mem.PageID) int {
+	if t.useIndex {
+		return t.findSlot(p)
+	}
 	for i := range t.pages {
 		if t.valid[i] && t.pages[i] == p {
 			return i
@@ -108,8 +154,7 @@ func (t *Table) InvalidateLine(idx int, lineInPage uint32) {
 // entry transfer on each side.
 func (t *Table) CopySlot(dstIdx int, src *Table, srcIdx int) {
 	t.entries[dstIdx] = src.entries[srcIdx]
-	t.pages[dstIdx] = src.pages[srcIdx]
-	t.valid[dstIdx] = src.valid[srcIdx]
+	t.setPage(dstIdx, src.pages[srcIdx], src.valid[srcIdx])
 	t.stats.EntryTransfers++
 	src.stats.EntryTransfers++
 }

@@ -51,6 +51,7 @@ package malec
 import (
 	"malec/internal/config"
 	"malec/internal/cpu"
+	"malec/internal/energy"
 	"malec/internal/engine"
 	"malec/internal/experiments"
 	"malec/internal/stats"
@@ -117,6 +118,18 @@ func CounterByName(name string) (Counter, bool) { return stats.CounterByName(nam
 // CounterNames returns the canonical names of all defined counters in ID
 // order.
 func CounterNames() []string { return stats.CounterNames() }
+
+// EnergyBreakdown is the per-component dynamic/leakage energy report of a
+// Result (picojoules), indexable by EnergyComponent.
+type EnergyBreakdown = energy.Breakdown
+
+// EnergyComponent identifies one accounting bucket of the energy breakdown
+// (L1, uTLB, TLB, uWT, WT, WDU).
+type EnergyComponent = energy.Component
+
+// EnergyComponents returns every energy accounting bucket in reporting
+// order, for iterating a Breakdown's Dynamic/Leakage arrays.
+func EnergyComponents() []EnergyComponent { return energy.Components() }
 
 // Record is one dynamic trace instruction.
 type Record = trace.Record

@@ -1,0 +1,120 @@
+package malec
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// memsideGrid is the config x benchmark x seed grid the memory-side
+// differential tests cover: the skip-test grid plus the segmented way-table
+// extension, whose SegmentedTable SlotFor/chunk paths the indexes also
+// replace.
+func memsideGrid() []struct {
+	Cfg   Config
+	Bench string
+	Seed  uint64
+} {
+	grid := skipGrid()
+	for _, b := range append([]string{"gzip", "mcf", "swim"}, StressBenchmarks()...) {
+		for _, s := range []uint64{1, 2} {
+			grid = append(grid, struct {
+				Cfg   Config
+				Bench string
+				Seed  uint64
+			}{MALECSegmentedWT(16, 0.5), b, s})
+		}
+	}
+	return grid
+}
+
+// TestMemIndexDifferential proves the memory-side hash indexes (TLB
+// VPage/PPage indexes, way-table SlotFor indexes, packed segmented chunks)
+// are semantically invisible: for every grid point the full Result JSON —
+// cycles, energy, every counter, TLB/way-table statistics — is
+// byte-identical between the indexed path and the DisableMemIndex scan
+// path. This is stronger than the 1e-9 acceptance bound: the indexes change
+// host-side lookup mechanics only, never simulated decisions.
+func TestMemIndexDifferential(t *testing.T) {
+	t.Setenv("MALEC_NO_MEM_INDEX", "") // pin: the suite must pass with the env hatch exported
+	const instructions = 20000
+	for _, g := range memsideGrid() {
+		on := g.Cfg
+		off := g.Cfg
+		off.DisableMemIndex = true
+		rOn := Run(on, g.Bench, instructions, g.Seed)
+		rOff := Run(off, g.Bench, instructions, g.Seed)
+		jOn, err := json.Marshal(rOn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jOff, err := json.Marshal(rOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jOn, jOff) {
+			t.Errorf("%s/%s/seed=%d: indexed result differs from scan (cycles %d vs %d)",
+				g.Cfg.Name, g.Bench, g.Seed, rOn.Cycles, rOff.Cycles)
+		}
+	}
+}
+
+// TestMemIndexEnvEscapeHatch checks the MALEC_NO_MEM_INDEX environment
+// toggle forces the scan paths without changing the semantic result.
+func TestMemIndexEnvEscapeHatch(t *testing.T) {
+	t.Setenv("MALEC_NO_MEM_INDEX", "")
+	ref := Run(MALEC(), "tlbthrash", 10000, 1)
+	t.Setenv("MALEC_NO_MEM_INDEX", "1")
+	r := Run(MALEC(), "tlbthrash", 10000, 1)
+	if r.Cycles != ref.Cycles {
+		t.Fatalf("env toggle changed timing: %d vs %d cycles", r.Cycles, ref.Cycles)
+	}
+	if r.Energy.Total() != ref.Energy.Total() {
+		t.Fatalf("env toggle changed energy: %f vs %f pJ", r.Energy.Total(), ref.Energy.Total())
+	}
+}
+
+// relErr returns |a-b| / max(|a|, |b|), 0 when both are zero.
+func relErr(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / m
+}
+
+// TestDeferredEnergyDifferential bounds the drift between the meter's
+// deferred event-count pricing (the default) and the historical per-event
+// float accumulation (MALEC_EAGER_ENERGY=1) at 1e-9 relative error for
+// every component's dynamic and leakage energy, over the full differential
+// grid. The two orders sum the identical per-event energies; only
+// floating-point association differs.
+func TestDeferredEnergyDifferential(t *testing.T) {
+	const instructions = 20000
+	const bound = 1e-9
+	for _, g := range memsideGrid() {
+		t.Setenv("MALEC_EAGER_ENERGY", "")
+		deferred := Run(g.Cfg, g.Bench, instructions, g.Seed)
+		t.Setenv("MALEC_EAGER_ENERGY", "1")
+		eager := Run(g.Cfg, g.Bench, instructions, g.Seed)
+		t.Setenv("MALEC_EAGER_ENERGY", "")
+		for _, c := range EnergyComponents() {
+			if e := relErr(deferred.Energy.Dynamic[c], eager.Energy.Dynamic[c]); e > bound {
+				t.Errorf("%s/%s/seed=%d %v dynamic: deferred %v vs eager %v (rel err %g)",
+					g.Cfg.Name, g.Bench, g.Seed, c,
+					deferred.Energy.Dynamic[c], eager.Energy.Dynamic[c], e)
+			}
+			if e := relErr(deferred.Energy.Leakage[c], eager.Energy.Leakage[c]); e > bound {
+				t.Errorf("%s/%s/seed=%d %v leakage: deferred %v vs eager %v (rel err %g)",
+					g.Cfg.Name, g.Bench, g.Seed, c,
+					deferred.Energy.Leakage[c], eager.Energy.Leakage[c], e)
+			}
+		}
+		if e := relErr(deferred.Energy.Total(), eager.Energy.Total()); e > bound {
+			t.Errorf("%s/%s/seed=%d total: deferred %v vs eager %v (rel err %g)",
+				g.Cfg.Name, g.Bench, g.Seed,
+				deferred.Energy.Total(), eager.Energy.Total(), e)
+		}
+	}
+}
