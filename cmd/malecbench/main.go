@@ -110,6 +110,16 @@ type throughputReport struct {
 	Seed         uint64          `json:"seed"`
 	Runs         int             `json:"runs"`
 	Configs      []throughputRow `json:"configs"`
+	// WallSeconds is the whole mode's wall time (warm-ups included), the
+	// same field malecload reports, so core and serving benchmark JSON
+	// share one telemetry vocabulary.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Engine snapshots the warm-up engine's cache/trace counters in the
+	// exact shape /v1/stats and /metrics serve (warm-ups run through a
+	// shared engine: one trace generation serves every config, so
+	// traceHits/traceMisses here mirror what a campaign would see). The
+	// timed runs below stay direct simulator calls and never hit it.
+	Engine engine.Stats `json:"engine"`
 }
 
 // runThroughput measures simulation throughput (committed instructions per
@@ -124,10 +134,16 @@ func runThroughput(benchmark string, instructions int, seed uint64, runs int) th
 		Seed:         seed,
 		Runs:         runs,
 	}
+	t0 := time.Now()
+	// Warm-ups go through an engine so the report carries engine cache
+	// vocabulary (simulations, trace hits/misses) alongside the raw
+	// timings; the timed loop stays direct so cache hits can't be
+	// mistaken for simulator throughput.
+	eng := engine.New(engine.Options{})
 	cfgs := []config.Config{config.Base1ldst(), config.Base2ld1st(), config.MALEC(),
 		config.MALECWithWDU(16)}
 	for _, cfg := range cfgs {
-		cpu.RunBenchmark(cfg, benchmark, instructions, seed) // warm-up
+		eng.Run(cfg, benchmark, instructions, seed) // warm-up
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		best := time.Duration(1<<63 - 1)
@@ -157,6 +173,8 @@ func runThroughput(benchmark string, instructions int, seed uint64, runs int) th
 		}
 		rep.Configs = append(rep.Configs, row)
 	}
+	rep.WallSeconds = time.Since(t0).Seconds()
+	rep.Engine = eng.Stats()
 	return rep
 }
 

@@ -12,12 +12,30 @@
 //	    localhost:8080/v1/run
 //	curl -d '{"configs":["Base1ldst","MALEC"],"benchmarks":["gzip","mcf"],"format":"csv"}' \
 //	    localhost:8080/v1/sweep
+//	curl localhost:8080/metrics
+//
+// GET /metrics serves the Prometheus text exposition: per-endpoint
+// request counters, in-flight gauges and latency histograms plus the
+// engine's cache/dedup/trace counters and scheduler queue depth. With
+// -pprof the standard net/http/pprof handlers are mounted under
+// /debug/pprof/ on the same listener.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight requests for up to -drain-timeout before exiting, so a
+// rolling restart never cuts a simulation (or a load-test tail) off
+// mid-response.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"malec/internal/engine"
@@ -33,6 +51,8 @@ func main() {
 		maxJobs  = flag.Int("max-sweep-jobs", 4096, "per-sweep expanded job limit")
 		maxCache = flag.Int("max-cache-entries", 1<<14, "in-memory result cache bound (oldest evicted; 0 = unbounded)")
 		traceRec = flag.Int("trace-cache", 0, "materialized-trace cache bound in records shared across configs (0 = default, negative = regenerate traces per simulation)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the same listener")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -42,10 +62,24 @@ func main() {
 		MaxCacheEntries:   *maxCache,
 		TraceCacheRecords: *traceRec,
 	})
-	handler := server.New(eng, server.Options{
+	api := server.New(eng, server.Options{
 		MaxInstructions: *maxInstr,
 		MaxSweepJobs:    *maxJobs,
 	})
+
+	var handler http.Handler = api
+	if *pprofOn {
+		// The API keeps its own mux; pprof mounts beside it so profiling
+		// is a flag away but never exposed by default.
+		mux := http.NewServeMux()
+		mux.Handle("/", api)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -55,6 +89,36 @@ func main() {
 		// clients.
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("malecd listening on %s (cache-dir=%q)", *addr, *cacheDir)
-	log.Fatal(srv.ListenAndServe())
+
+	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops the
+	// listener immediately and waits for in-flight handlers up to the
+	// drain window. Killing mid-request would poison every load-test
+	// tail (and any client retry logic) with spurious connection resets.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("malecd listening on %s (cache-dir=%q, pprof=%v)", *addr, *cacheDir, *pprofOn)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err) // bind failure or listener error before any signal
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("malecd draining (timeout %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("malecd shutdown: %v", err)
+		srv.Close() //nolint:errcheck // best-effort hard stop after drain timeout
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("malecd listener: %v", err)
+	}
+	log.Printf("malecd stopped cleanly")
 }

@@ -1,0 +1,459 @@
+// Command malecload drives a running malecd with open-loop load and
+// reports latency percentiles, error rate and achieved-vs-offered RPS
+// per slot as JSON — the serving-side counterpart of `malecbench
+// -throughput`, and the harness behind BENCH_serve.json and the CI
+// serving smoke.
+//
+// The load shape follows the invitro trace-synthesizer vocabulary:
+// a starting RPS, a step size, a target RPS and a per-slot duration.
+//
+//	malecload -mode fixed -start-rps 200 -slots 3 -slot 5s        # constant rate
+//	malecload -mode sweep -start-rps 100 -step 100 -target-rps 800 # staircase
+//	malecload -mode burst -start-rps 50 -target-rps 1000 -slots 6  # alternate base/burst
+//	malecload -find-saturation -start-rps 100 -target-rps 20000    # max sustainable RPS
+//
+// Requests are drawn from a weighted mix of populations (-mix):
+//
+//	hit    repeated /v1/run for one fixed point — after the first
+//	       response every request is an in-memory cache hit, measuring
+//	       the pure serving path;
+//	sweep  a small fixed /v1/sweep campaign — cache-hit dominated after
+//	       the first response, measuring the campaign/export path;
+//	run    /v1/run with a fresh seed per request — every request is a
+//	       real simulation, measuring the engine under simulate load.
+//
+// e.g. -mix hit=8,run=2 offers 80% cache hits and 20% fresh
+// simulations. The generator is open-loop: arrivals are scheduled by
+// the offered rate, not by completions, so saturation shows up honestly
+// as queueing (rising percentiles), timeouts and a widening gap between
+// offered and achieved RPS rather than as a silently slowed generator.
+//
+// -find-saturation binary-searches the highest offered RPS the daemon
+// sustains (error rate and achieved/offered within bounds), growing
+// exponentially until the first failing probe brackets the answer.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// reqKind is one request population in the mix.
+type reqKind int
+
+const (
+	kindHit reqKind = iota
+	kindRun
+	kindSweep
+)
+
+var kindNames = map[string]reqKind{"hit": kindHit, "run": kindRun, "sweep": kindSweep}
+
+func (k reqKind) String() string {
+	switch k {
+	case kindHit:
+		return "hit"
+	case kindRun:
+		return "run"
+	}
+	return "sweep"
+}
+
+// generator owns the target, the client and the request mix.
+type generator struct {
+	base         string
+	client       *http.Client
+	schedule     []reqKind // weight-expanded, walked round-robin
+	next         atomic.Uint64
+	seed         atomic.Uint64 // fresh-seed counter for the run population
+	seedBase     uint64        // per-invocation offset for run seeds
+	instructions int
+	inflight     chan struct{} // bounds concurrent requests
+}
+
+// pick returns the next request kind in the weighted rotation. The
+// rotation is deterministic, so two invocations with the same flags
+// offer byte-identical request sequences.
+func (g *generator) pick() reqKind {
+	return g.schedule[g.next.Add(1)%uint64(len(g.schedule))]
+}
+
+// body builds the request body and path for one request.
+func (g *generator) body(kind reqKind) (path, payload string) {
+	switch kind {
+	case kindHit:
+		return "/v1/run", fmt.Sprintf(
+			`{"config":"MALEC","benchmark":"gzip","instructions":%d,"seed":1}`, g.instructions)
+	case kindRun:
+		// A fresh seed per request: a distinct simulation point every
+		// time, so this population exercises the simulate path (and the
+		// trace cache) instead of the result cache. The base is unique
+		// per invocation (see -run-seed-base) or a second malecload run
+		// against a warm daemon would measure cache hits by accident.
+		return "/v1/run", fmt.Sprintf(
+			`{"config":"MALEC","benchmark":"gzip","instructions":%d,"seed":%d}`,
+			g.instructions, g.seedBase+g.seed.Add(1))
+	default:
+		return "/v1/sweep", fmt.Sprintf(
+			`{"configs":["Base1ldst","MALEC"],"benchmarks":["gzip"],"instructions":%d,"seeds":[1,2]}`,
+			g.instructions)
+	}
+}
+
+// do performs one request, returning its latency and success.
+func (g *generator) do(kind reqKind) (time.Duration, bool) {
+	path, payload := g.body(kind)
+	t0 := time.Now()
+	resp, err := g.client.Post(g.base+path, "application/json", strings.NewReader(payload))
+	if err != nil {
+		return time.Since(t0), false
+	}
+	_, copyErr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return time.Since(t0), copyErr == nil && resp.StatusCode == http.StatusOK
+}
+
+// slotReport is one measurement slot's result.
+type slotReport struct {
+	Slot        int     `json:"slot"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	Launched    int     `json:"launched"`
+	Succeeded   int     `json:"succeeded"`
+	Errors      int     `json:"errors"`
+	// Dropped counts arrivals shed because the in-flight cap was
+	// reached — the generator's own admission control, counted into
+	// error_rate because the offered request was not served.
+	Dropped int `json:"dropped"`
+	// DrainSec is how long after the slot ended the last in-flight
+	// request took to complete. A healthy slot drains in ~one request
+	// latency; a large drain means the slot left a backlog behind.
+	DrainSec float64 `json:"drain_sec"`
+	// AchievedRPS is successes over the full elapsed time including the
+	// drain, so a backlog the server only worked off after arrivals
+	// stopped cannot masquerade as sustained throughput.
+	AchievedRPS float64 `json:"achieved_rps"`
+	ErrorRate   float64 `json:"error_rate"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+}
+
+// runSlot offers rps for the slot duration and gathers the report.
+// Arrivals are paced on an absolute schedule (start + i*interval): a
+// stalled request never delays later arrivals, it only raises the
+// in-flight count.
+func (g *generator) runSlot(slot int, rps float64, d time.Duration) slotReport {
+	interval := time.Duration(float64(time.Second) / rps)
+	var (
+		mu      sync.Mutex
+		latNs   []int64
+		errors  int
+		dropped int
+		wg      sync.WaitGroup
+	)
+	launched := 0
+	start := time.Now()
+	end := start.Add(d)
+	for next := start; next.Before(end); next = next.Add(interval) {
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		kind := g.pick()
+		select {
+		case g.inflight <- struct{}{}:
+		default:
+			dropped++
+			launched++
+			continue
+		}
+		launched++
+		wg.Add(1)
+		go func(kind reqKind) {
+			defer wg.Done()
+			defer func() { <-g.inflight }()
+			lat, ok := g.do(kind)
+			mu.Lock()
+			if ok {
+				latNs = append(latNs, lat.Nanoseconds())
+			} else {
+				errors++
+			}
+			mu.Unlock()
+		}(kind)
+	}
+	wg.Wait() // drain the tail; bounded by the client timeout
+	elapsed := time.Since(start)
+
+	rep := slotReport{
+		Slot:        slot,
+		OfferedRPS:  rps,
+		DurationSec: d.Seconds(),
+		Launched:    launched,
+		Succeeded:   len(latNs),
+		Errors:      errors,
+		Dropped:     dropped,
+		DrainSec:    (elapsed - d).Seconds(),
+		AchievedRPS: float64(len(latNs)) / elapsed.Seconds(),
+	}
+	if launched > 0 {
+		rep.ErrorRate = float64(errors+dropped) / float64(launched)
+	}
+	if len(latNs) > 0 {
+		sort.Slice(latNs, func(i, j int) bool { return latNs[i] < latNs[j] })
+		var sum int64
+		for _, n := range latNs {
+			sum += n
+		}
+		ms := func(n int64) float64 { return float64(n) / 1e6 }
+		quant := func(q float64) float64 {
+			idx := int(math.Ceil(q*float64(len(latNs)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			return ms(latNs[idx])
+		}
+		rep.P50Ms = quant(0.50)
+		rep.P90Ms = quant(0.90)
+		rep.P99Ms = quant(0.99)
+		rep.MaxMs = ms(latNs[len(latNs)-1])
+		rep.MeanMs = ms(sum / int64(len(latNs)))
+	}
+	return rep
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Mode           string            `json:"mode"`
+	Target         string            `json:"target"`
+	Mix            map[string]int    `json:"mix"`
+	Instructions   int               `json:"instructions"`
+	Slots          []slotReport      `json:"slots"`
+	Saturation     *saturationReport `json:"saturation,omitempty"`
+	TotalLaunched  int               `json:"total_launched"`
+	TotalSucceeded int               `json:"total_succeeded"`
+	TotalErrors    int               `json:"total_errors"`
+	WallSeconds    float64           `json:"wall_seconds"`
+}
+
+// saturationReport summarizes a -find-saturation search.
+type saturationReport struct {
+	// SustainableRPS is the highest offered rate that passed the
+	// sustainability check (error rate and achieved/offered ratio).
+	SustainableRPS float64 `json:"sustainable_rps"`
+	// FirstUnsustainableRPS is the lowest probed rate that failed; the
+	// truth lies between the two.
+	FirstUnsustainableRPS float64 `json:"first_unsustainable_rps"`
+	Probes                int     `json:"probes"`
+	// BestSlot is the passing probe at SustainableRPS.
+	BestSlot slotReport `json:"best_slot"`
+}
+
+// sustainable is the pass criterion for one saturation probe.
+func sustainable(s slotReport, maxErrRate, minAchievedRatio float64) bool {
+	return s.ErrorRate <= maxErrRate && s.AchievedRPS >= minAchievedRatio*s.OfferedRPS
+}
+
+// parseMix parses "hit=8,run=2" into weights and the expanded schedule.
+func parseMix(spec string) (map[string]int, []reqKind, error) {
+	weights := map[string]int{}
+	var schedule []reqKind
+	for _, part := range strings.Split(spec, ",") {
+		name, wstr, found := strings.Cut(strings.TrimSpace(part), "=")
+		w := 1
+		if found {
+			var err error
+			if w, err = strconv.Atoi(wstr); err != nil || w <= 0 {
+				return nil, nil, fmt.Errorf("bad weight in %q", part)
+			}
+		}
+		kind, ok := kindNames[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown population %q (hit, run, sweep)", name)
+		}
+		if _, dup := weights[name]; dup {
+			return nil, nil, fmt.Errorf("population %q listed twice", name)
+		}
+		weights[name] = w
+		for i := 0; i < w; i++ {
+			schedule = append(schedule, kind)
+		}
+	}
+	if len(schedule) == 0 {
+		return nil, nil, fmt.Errorf("empty mix")
+	}
+	return weights, schedule, nil
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "malecd base URL")
+		mode      = flag.String("mode", "sweep", "load shape: fixed | sweep | burst")
+		startRPS  = flag.Float64("start-rps", 100, "starting (or base) offered RPS")
+		step      = flag.Float64("step", 100, "RPS increment per slot in sweep mode; saturation-search resolution")
+		targetRPS = flag.Float64("target-rps", 500, "final RPS in sweep mode; burst height; saturation-search upper bound")
+		slotDur   = flag.Duration("slot", 5*time.Second, "duration of each RPS slot")
+		slots     = flag.Int("slots", 4, "slot count in fixed and burst modes")
+		mixSpec   = flag.String("mix", "hit", "weighted request mix, e.g. hit=8,run=2,sweep=1")
+		instr     = flag.Int("instructions", 50000, "instructions per requested simulation point")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout (a timed-out request is an error)")
+		maxInfl   = flag.Int("max-inflight", 1024, "in-flight request cap; arrivals beyond it are dropped (counted as errors)")
+		warmup    = flag.Bool("warmup", true, "synchronously prime each population once before measuring")
+		seedBase  = flag.Uint64("run-seed-base", 0, "first seed for the run population (0: derive from wall clock, unique per invocation)")
+		findSat   = flag.Bool("find-saturation", false, "binary-search the max sustainable RPS instead of running a fixed shape")
+		satErr    = flag.Float64("sat-max-error-rate", 0.01, "max error rate for a saturation probe to pass")
+		satRatio  = flag.Float64("sat-min-achieved", 0.95, "min achieved/offered ratio for a saturation probe to pass")
+	)
+	flag.Parse()
+
+	weights, schedule, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "malecload: -mix:", err)
+		return 2
+	}
+	g := &generator{
+		base: strings.TrimRight(*addr, "/"),
+		client: &http.Client{
+			Timeout: *timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        *maxInfl,
+				MaxIdleConnsPerHost: *maxInfl,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		schedule:     schedule,
+		seedBase:     *seedBase,
+		instructions: *instr,
+		inflight:     make(chan struct{}, *maxInfl),
+	}
+	if g.seedBase == 0 {
+		g.seedBase = uint64(time.Now().UnixNano())
+	}
+
+	if *warmup {
+		// Prime each population once so the hit/sweep mixes measure the
+		// cache-hit steady state, not one cold simulation; also proves
+		// the daemon is actually up before load starts.
+		for name, kind := range kindNames {
+			if weights[name] == 0 {
+				continue
+			}
+			if lat, ok := g.do(kind); !ok {
+				fmt.Fprintf(os.Stderr, "malecload: warmup %s request failed after %v (is malecd up at %s?)\n",
+					name, lat.Round(time.Millisecond), *addr)
+				return 1
+			}
+		}
+	}
+
+	rep := report{
+		Mode:         *mode,
+		Target:       *addr,
+		Mix:          weights,
+		Instructions: *instr,
+	}
+	t0 := time.Now()
+	probe := 0
+	nextSlot := func(rps float64) slotReport {
+		probe++
+		fmt.Fprintf(os.Stderr, "[slot %d: offering %.0f rps for %v]\n", probe, rps, *slotDur)
+		s := g.runSlot(probe, rps, *slotDur)
+		rep.Slots = append(rep.Slots, s)
+		return s
+	}
+
+	switch {
+	case *findSat:
+		rep.Mode = "find-saturation"
+		sat := &saturationReport{}
+		var best slotReport
+		lo, hi := 0.0, 0.0 // highest passing / lowest failing offered RPS
+		rps := *startRPS
+		for probe < 20 {
+			s := nextSlot(rps)
+			if sustainable(s, *satErr, *satRatio) {
+				lo, best = rps, s
+				if hi == 0 {
+					if rps >= *targetRPS {
+						break // sustained the configured ceiling
+					}
+					rps = math.Min(rps*2, *targetRPS)
+					continue
+				}
+			} else {
+				hi = rps
+				if lo == 0 {
+					rps = rps / 2
+					if rps < 1 {
+						break
+					}
+					continue
+				}
+			}
+			if hi-lo <= math.Max(*step, 0.02*lo) {
+				break
+			}
+			rps = (lo + hi) / 2
+		}
+		sat.SustainableRPS = lo
+		sat.FirstUnsustainableRPS = hi
+		sat.Probes = probe
+		sat.BestSlot = best
+		rep.Saturation = sat
+	case *mode == "fixed":
+		for i := 0; i < *slots; i++ {
+			nextSlot(*startRPS)
+		}
+	case *mode == "sweep":
+		if *step <= 0 {
+			fmt.Fprintln(os.Stderr, "malecload: sweep mode needs -step > 0")
+			return 2
+		}
+		for rps := *startRPS; rps <= *targetRPS+1e-9; rps += *step {
+			nextSlot(rps)
+		}
+	case *mode == "burst":
+		// Alternate base and burst slots (base first), the invitro
+		// burst pattern: steady traffic punctuated by spikes at the
+		// target rate.
+		for i := 0; i < *slots; i++ {
+			if i%2 == 0 {
+				nextSlot(*startRPS)
+			} else {
+				nextSlot(*targetRPS)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "malecload: unknown -mode %q (fixed, sweep, burst)\n", *mode)
+		return 2
+	}
+	rep.WallSeconds = time.Since(t0).Seconds()
+	for _, s := range rep.Slots {
+		rep.TotalLaunched += s.Launched
+		rep.TotalSucceeded += s.Succeeded
+		rep.TotalErrors += s.Errors + s.Dropped
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "malecload:", err)
+		return 1
+	}
+	fmt.Println(string(out))
+	return 0
+}

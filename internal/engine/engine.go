@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"malec/internal/config"
 	"malec/internal/cpu"
@@ -107,6 +108,14 @@ type Stats struct {
 	// TraceRecords is the number of trace records currently held by the
 	// materialized-trace cache.
 	TraceRecords int `json:"traceRecords"`
+	// QueueDepth is the number of simulations currently waiting for a
+	// worker slot — the scheduler's backlog, the first number to watch
+	// under load (a persistently non-zero depth means offered work
+	// exceeds simulation capacity).
+	QueueDepth int `json:"queueDepth"`
+	// Running is the number of simulations executing right now (bounded
+	// by Options.Workers).
+	Running int `json:"running"`
 }
 
 // Lookups returns the total number of requests the engine has served.
@@ -128,6 +137,11 @@ type Engine struct {
 	maxEntries int
 	sem        chan struct{} // bounds concurrent simulations
 	traces     *trace.Cache  // shared materialized traces (nil: disabled)
+
+	// Scheduler gauges, updated outside e.mu: queued counts goroutines
+	// waiting for a worker slot, running counts simulations in flight.
+	queued  atomic.Int64
+	running atomic.Int64
 
 	mu       sync.Mutex
 	cache    map[Key]cpu.Result
@@ -257,8 +271,14 @@ func (e *Engine) RunTracked(cfg config.Config, benchmark string, instructions in
 // runSimulation executes the simulator under the worker bound, releasing
 // the slot even if the simulator panics.
 func (e *Engine) runSimulation(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result {
+	e.queued.Add(1)
 	e.sem <- struct{}{}
-	defer func() { <-e.sem }()
+	e.queued.Add(-1)
+	e.running.Add(1)
+	defer func() {
+		e.running.Add(-1)
+		<-e.sem
+	}()
 	return e.simulate(cfg, benchmark, instructions, seed)
 }
 
@@ -276,6 +296,8 @@ func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.Entries = len(e.cache)
 	e.mu.Unlock()
+	s.QueueDepth = int(e.queued.Load())
+	s.Running = int(e.running.Load())
 	if e.traces != nil {
 		ts := e.traces.Stats()
 		s.TraceHits = ts.Hits

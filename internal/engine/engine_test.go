@@ -523,3 +523,43 @@ func TestTraceCacheCampaignEquivalence(t *testing.T) {
 		t.Fatalf("disabled trace cache reported activity: %+v", fs)
 	}
 }
+
+// TestSchedulerQueueGauges checks the Running/QueueDepth scheduler
+// gauges: with one worker and several distinct points in flight, exactly
+// one simulation runs while the rest queue, and both gauges drain to
+// zero when the work completes.
+func TestSchedulerQueueGauges(t *testing.T) {
+	const points = 4
+	release := make(chan struct{})
+	started := make(chan struct{}, points)
+	e := New(Options{Workers: 1, Simulate: func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		started <- struct{}{}
+		<-release
+		return stubResult(cfg, b, n, s)
+	}})
+	cfg := config.MALEC()
+
+	var wg sync.WaitGroup
+	for i := 0; i < points; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.Run(cfg, "gzip", 1000, uint64(i+1))
+		}(i)
+	}
+	<-started // one simulation holds the single worker slot
+	for e.Stats().QueueDepth < points-1 {
+		runtime.Gosched()
+	}
+	if s := e.Stats(); s.Running != 1 || s.QueueDepth != points-1 {
+		t.Fatalf("stats = %+v; want running 1, queueDepth %d", s, points-1)
+	}
+	close(release)
+	wg.Wait()
+	if s := e.Stats(); s.Running != 0 || s.QueueDepth != 0 {
+		t.Fatalf("after drain stats = %+v; want zero gauges", s)
+	}
+	if s := e.Stats(); s.Simulations != points {
+		t.Fatalf("simulations = %d, want %d", s.Simulations, points)
+	}
+}

@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the le (inclusive upper bound)
+// bucket semantics: an observation equal to a bound lands in that
+// bound's bucket, one nanosecond above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	cases := []struct {
+		d    time.Duration
+		want int // bucket index
+	}{
+		{0, 0},
+		{time.Millisecond - 1, 0},
+		{time.Millisecond, 0}, // le: exactly on the bound is inside
+		{time.Millisecond + 1, 1},
+		{10 * time.Millisecond, 1},
+		{10*time.Millisecond + 1, 2},
+		{100 * time.Millisecond, 2},
+		{100*time.Millisecond + 1, 3}, // +Inf overflow bucket
+		{time.Hour, 3},
+	}
+	for _, c := range cases {
+		before := make([]uint64, len(h.buckets))
+		for i := range h.buckets {
+			before[i] = h.buckets[i].Load()
+		}
+		h.Observe(c.d)
+		for i := range h.buckets {
+			delta := h.buckets[i].Load() - before[i]
+			if (i == c.want) != (delta == 1) {
+				t.Fatalf("Observe(%v): bucket %d delta %d, want observation in bucket %d",
+					c.d, i, delta, c.want)
+			}
+		}
+	}
+	if got := h.Count(); got != uint64(len(cases)) {
+		t.Fatalf("Count() = %d, want %d", got, len(cases))
+	}
+	if got := h.Max(); got != time.Hour {
+		t.Fatalf("Max() = %v, want %v", got, time.Hour)
+	}
+}
+
+// TestHistogramQuantile checks the interpolated quantile estimate against
+// a known distribution, and that the +Inf bucket resolves to the exact
+// maximum instead of an unbounded guess.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond})
+	// 100 observations uniform in (0, 10ms]: p50 should interpolate to
+	// ~5ms inside the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 4*time.Millisecond || p50 > 6*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~5ms", p50)
+	}
+	// All mass below 10ms: p99 stays in the first bucket.
+	if p99 := h.Quantile(0.99); p99 > 10*time.Millisecond {
+		t.Fatalf("p99 = %v, want <= 10ms", p99)
+	}
+	// One overflow observation: p100 must be the exact max.
+	h.Observe(3 * time.Second)
+	if q := h.Quantile(1.0); q != 3*time.Second {
+		t.Fatalf("overflow quantile = %v, want exact max 3s", q)
+	}
+
+	var empty Histogram
+	if q := (&empty).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+// TestConcurrentObserve hammers one histogram and one counter from many
+// goroutines while a reader scrapes; run under -race this is the data
+// race guard for the whole hot path.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "test", nil)
+	c := r.Counter("t_total", "test")
+	g := r.Gauge("t_inflight", "test")
+
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				r.WritePrometheus(&sb) //nolint:errcheck // strings.Builder cannot fail
+				r.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*perWorker+i) * time.Microsecond)
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}(w)
+	}
+	// Stop the scraper only after every writer finished, so it always
+	// races against live updates.
+	for c.Value() < workers*perWorker {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+// TestWritePrometheusGolden pins the full text exposition output for a
+// deterministic registry: family grouping, HELP/TYPE lines, label
+// rendering and escaping, cumulative histogram buckets, le formatting.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("malecd_http_requests_total", "Requests served.",
+		Label{"endpoint", "/v1/run"}, Label{"code", "2xx"})
+	c2 := r.Counter("malecd_http_requests_total", "Requests served.",
+		Label{"endpoint", "/v1/run"}, Label{"code", "4xx"})
+	g := r.Gauge("malecd_http_in_flight", "In-flight requests.",
+		Label{"endpoint", "/v1/run"})
+	h := r.Histogram("malecd_http_request_seconds", "Request latency.",
+		[]time.Duration{time.Millisecond, 100 * time.Millisecond},
+		Label{"endpoint", "/v1/run"})
+	r.GaugeFunc("malec_engine_cache_entries", "Cache entries.", func() float64 { return 7 })
+	esc := r.Counter("t_escaped_total", "Escaping.", Label{"path", `a"b\c`})
+
+	c1.Add(3)
+	c2.Inc()
+	g.Set(2)
+	h.Observe(500 * time.Microsecond)  // first bucket
+	h.Observe(time.Millisecond)        // still first (le)
+	h.Observe(50 * time.Millisecond)   // second
+	h.Observe(2500 * time.Millisecond) // +Inf
+	esc.Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP malecd_http_requests_total Requests served.
+# TYPE malecd_http_requests_total counter
+malecd_http_requests_total{endpoint="/v1/run",code="2xx"} 3
+malecd_http_requests_total{endpoint="/v1/run",code="4xx"} 1
+# HELP malecd_http_in_flight In-flight requests.
+# TYPE malecd_http_in_flight gauge
+malecd_http_in_flight{endpoint="/v1/run"} 2
+# HELP malecd_http_request_seconds Request latency.
+# TYPE malecd_http_request_seconds histogram
+malecd_http_request_seconds_bucket{endpoint="/v1/run",le="0.001"} 2
+malecd_http_request_seconds_bucket{endpoint="/v1/run",le="0.1"} 3
+malecd_http_request_seconds_bucket{endpoint="/v1/run",le="+Inf"} 4
+malecd_http_request_seconds_sum{endpoint="/v1/run"} 2.5515
+malecd_http_request_seconds_count{endpoint="/v1/run"} 4
+# HELP malec_engine_cache_entries Cache entries.
+# TYPE malec_engine_cache_entries gauge
+malec_engine_cache_entries 7
+# HELP t_escaped_total Escaping.
+# TYPE t_escaped_total counter
+t_escaped_total{path="a\"b\\c"} 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshot checks the JSON-side dump: key rendering and per-type
+// routing, histogram summaries included.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c", Label{"k", "v"})
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", []time.Duration{time.Millisecond})
+	scrapes := 0
+	r.OnScrape(func() { scrapes++ })
+	r.GaugeFunc("fn", "fn", func() float64 { return 1.5 })
+
+	c.Add(2)
+	g.Set(-4)
+	h.Observe(2 * time.Millisecond)
+
+	s := r.Snapshot()
+	if scrapes != 1 {
+		t.Fatalf("OnScrape ran %d times, want 1", scrapes)
+	}
+	if s.Counters[`c_total{k="v"}`] != 2 {
+		t.Fatalf("counter snapshot = %v", s.Counters)
+	}
+	if s.Gauges["g"] != -4 || s.Gauges["fn"] != 1.5 {
+		t.Fatalf("gauge snapshot = %v", s.Gauges)
+	}
+	hs, ok := s.Histograms["h_seconds"]
+	if !ok || hs.Count != 1 || hs.MaxMs != 2 {
+		t.Fatalf("histogram snapshot = %+v", s.Histograms)
+	}
+}
+
+// TestRegistrationPanics pins the programmer-error guards: one name
+// cannot carry two types, and an identical (name, labels) pair cannot be
+// registered twice.
+func TestRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	expectPanic("type conflict", func() { r.Gauge("x_total", "x") })
+	expectPanic("duplicate", func() { r.Counter("x_total", "x") })
+}
+
+// TestObserveAllocationFree locks in the zero-allocation guarantee of
+// every hot-path operation; a map lookup or label render sneaking into
+// Observe would show up here long before it showed up in a profile.
+func TestObserveAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "h", nil, Label{"endpoint", "/v1/run"})
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(3 * time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Inc()
+		g.Dec()
+	}); n != 0 {
+		t.Fatalf("Counter/Gauge ops allocate %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,203 @@
+package server
+
+// This file is the serving observability layer: per-endpoint request
+// counters, in-flight gauges and latency histograms collected around
+// every handler, the engine's cache/dedup/trace/scheduler counters
+// re-exported at scrape time, and the GET /metrics endpoint rendering
+// it all in the Prometheus text exposition format. One scrape tells the
+// whole story: HTTP-level load and latency plus what the engine did
+// with it.
+
+import (
+	"net/http"
+	"time"
+
+	"malec/internal/engine"
+	"malec/internal/metrics"
+)
+
+// endpointMetrics is the fixed instrument set of one route, resolved at
+// registration so request handling performs no label work.
+type endpointMetrics struct {
+	inFlight *metrics.Gauge
+	latency  *metrics.Histogram
+	// codes counts finished requests by status class: 2xx, 4xx, 5xx and
+	// other (1xx/3xx, never produced today).
+	codes [4]*metrics.Counter
+}
+
+// codeClasses orders the endpointMetrics.codes counters.
+var codeClasses = [4]string{"2xx", "4xx", "5xx", "other"}
+
+// classIndex maps a status code to its codes counter.
+func classIndex(code int) int {
+	switch {
+	case code >= 200 && code < 300:
+		return 0
+	case code >= 400 && code < 500:
+		return 1
+	case code >= 500:
+		return 2
+	}
+	return 3
+}
+
+// requests returns the endpoint's finished-request total.
+func (m *endpointMetrics) requests() uint64 {
+	var n uint64
+	for _, c := range m.codes {
+		n += c.Value()
+	}
+	return n
+}
+
+// errors returns the endpoint's 4xx+5xx total.
+func (m *endpointMetrics) errors() uint64 {
+	return m.codes[1].Value() + m.codes[2].Value()
+}
+
+// newEndpointMetrics registers one route's instruments.
+func newEndpointMetrics(reg *metrics.Registry, route string) *endpointMetrics {
+	ep := &endpointMetrics{
+		inFlight: reg.Gauge("malecd_http_in_flight",
+			"Requests currently being handled.",
+			metrics.Label{Name: "endpoint", Value: route}),
+		latency: reg.Histogram("malecd_http_request_seconds",
+			"Request latency by endpoint.", nil,
+			metrics.Label{Name: "endpoint", Value: route}),
+	}
+	for i, class := range codeClasses {
+		ep.codes[i] = reg.Counter("malecd_http_requests_total",
+			"Requests served by endpoint and status class.",
+			metrics.Label{Name: "endpoint", Value: route},
+			metrics.Label{Name: "code", Value: class})
+	}
+	return ep
+}
+
+// statusWriter captures the response status for the code-class counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers an instrumented route on the mux: in-flight gauge
+// around the handler, latency observed on completion, status class
+// counted from the recorded code.
+func (s *Server) handle(method, route string, h http.HandlerFunc) {
+	ep := newEndpointMetrics(s.reg, route)
+	s.endpoints = append(s.endpoints, routeMetrics{route: route, m: ep})
+	s.mux.HandleFunc(method+" "+route, func(w http.ResponseWriter, r *http.Request) {
+		ep.inFlight.Inc()
+		defer ep.inFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		ep.latency.Observe(time.Since(start))
+		ep.codes[classIndex(sw.code)].Inc()
+	})
+}
+
+// routeMetrics pairs a route with its instruments, in registration order
+// so /v1/stats renders deterministically.
+type routeMetrics struct {
+	route string
+	m     *endpointMetrics
+}
+
+// registerEngineMetrics re-exports the engine's counters as scrape-time
+// metrics. One OnScrape hook refreshes a single coherent Stats snapshot
+// (instead of one engine lock round-trip per metric), which the
+// CounterFunc/GaugeFunc closures read under the registry lock.
+func (s *Server) registerEngineMetrics() {
+	var st engine.Stats
+	s.reg.OnScrape(func() { st = s.eng.Stats() })
+	counter := func(name, help string, v func() uint64) {
+		s.reg.CounterFunc(name, help, func() float64 { return float64(v()) })
+	}
+	gauge := func(name, help string, v func() int) {
+		s.reg.GaugeFunc(name, help, func() float64 { return float64(v()) })
+	}
+	counter("malec_engine_cache_hits_total",
+		"Requests served from the in-memory result cache.",
+		func() uint64 { return st.Hits })
+	counter("malec_engine_disk_hits_total",
+		"Requests served from the disk result store.",
+		func() uint64 { return st.DiskHits })
+	counter("malec_engine_dedup_total",
+		"Requests attached to an in-flight simulation (singleflight).",
+		func() uint64 { return st.Dedup })
+	counter("malec_engine_simulations_total",
+		"Simulations actually executed.",
+		func() uint64 { return st.Simulations })
+	counter("malec_engine_trace_hits_total",
+		"Simulations served from an already-materialized trace arena.",
+		func() uint64 { return st.TraceHits })
+	counter("malec_engine_trace_misses_total",
+		"Simulations that had to generate (or extend) a trace arena.",
+		func() uint64 { return st.TraceMisses })
+	gauge("malec_engine_cache_entries",
+		"Current in-memory result cache size.",
+		func() int { return st.Entries })
+	gauge("malec_engine_trace_records",
+		"Trace records resident in the materialized-trace cache.",
+		func() int { return st.TraceRecords })
+	gauge("malec_engine_queue_depth",
+		"Simulations waiting for a worker slot.",
+		func() int { return st.QueueDepth })
+	gauge("malec_engine_running",
+		"Simulations executing right now.",
+		func() int { return st.Running })
+	s.reg.GaugeFunc("malecd_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+}
+
+// handleMetrics implements GET /metrics (Prometheus text exposition).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // headers sent; nothing left to report
+}
+
+// servingStats is the serving-layer section folded into /v1/stats.
+type servingStats struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Requests and Errors aggregate all endpoints (errors: 4xx+5xx).
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	// Endpoints maps each route to its totals and latency summary.
+	Endpoints map[string]endpointStats `json:"endpoints"`
+}
+
+// endpointStats is one route's summary in /v1/stats.
+type endpointStats struct {
+	Requests uint64                    `json:"requests"`
+	Errors   uint64                    `json:"errors"`
+	InFlight int64                     `json:"inFlight"`
+	Latency  metrics.HistogramSnapshot `json:"latency"`
+}
+
+// servingSnapshot builds the /v1/stats serving section.
+func (s *Server) servingSnapshot() servingStats {
+	out := servingStats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Endpoints:     make(map[string]endpointStats, len(s.endpoints)),
+	}
+	for _, e := range s.endpoints {
+		es := endpointStats{
+			Requests: e.m.requests(),
+			Errors:   e.m.errors(),
+			InFlight: e.m.inFlight.Value(),
+			Latency:  e.m.latency.Snap(),
+		}
+		out.Requests += es.Requests
+		out.Errors += es.Errors
+		out.Endpoints[e.route] = es
+	}
+	return out
+}

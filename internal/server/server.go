@@ -6,11 +6,18 @@
 // Endpoints:
 //
 //	GET  /healthz        liveness probe
+//	GET  /metrics        Prometheus text exposition (latency histograms,
+//	                     per-endpoint counters, engine cache/dedup/trace
+//	                     counters, scheduler queue depth)
 //	GET  /v1/configs     preset configuration names
 //	GET  /v1/benchmarks  benchmark workloads with their suites
-//	GET  /v1/stats       engine cache/scheduler counters
+//	GET  /v1/stats       engine cache/scheduler counters + serving summary
 //	POST /v1/run         one simulation point
 //	POST /v1/sweep       a config x benchmark x seed campaign (JSON or CSV)
+//
+// Every route is instrumented by middleware (metrics.go): request
+// counters by status class, an in-flight gauge and a latency histogram
+// per endpoint, all allocation-free on the request path.
 package server
 
 import (
@@ -19,9 +26,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"malec/internal/config"
 	"malec/internal/engine"
+	"malec/internal/metrics"
 	"malec/internal/trace"
 )
 
@@ -49,22 +58,38 @@ func (o Options) normalize() Options {
 
 // Server is the malecd HTTP handler.
 type Server struct {
-	eng  *engine.Engine
-	opts Options
-	mux  *http.ServeMux
+	eng   *engine.Engine
+	opts  Options
+	mux   *http.ServeMux
+	reg   *metrics.Registry
+	start time.Time
+	// endpoints lists every instrumented route in registration order,
+	// for the /v1/stats serving summary.
+	endpoints []routeMetrics
 }
 
 // New returns a handler serving the malecd API on eng.
 func New(eng *engine.Engine, opts Options) *Server {
-	s := &Server{eng: eng, opts: opts.normalize(), mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/configs", s.handleConfigs)
-	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s := &Server{
+		eng:   eng,
+		opts:  opts.normalize(),
+		mux:   http.NewServeMux(),
+		reg:   metrics.NewRegistry(),
+		start: time.Now(),
+	}
+	s.handle("GET", "/healthz", s.handleHealthz)
+	s.handle("GET", "/metrics", s.handleMetrics)
+	s.handle("GET", "/v1/configs", s.handleConfigs)
+	s.handle("GET", "/v1/benchmarks", s.handleBenchmarks)
+	s.handle("GET", "/v1/stats", s.handleStats)
+	s.handle("POST", "/v1/run", s.handleRun)
+	s.handle("POST", "/v1/sweep", s.handleSweep)
+	s.registerEngineMetrics()
 	return s
 }
+
+// Metrics exposes the server's metrics registry (tests, embedding).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -120,9 +145,21 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": list})
 }
 
+// statsResponse is the GET /v1/stats reply: the engine's counters at the
+// top level exactly as before (the embedded struct marshals flat, so no
+// existing field name moves), plus the serving-layer summary under
+// "serving".
+type statsResponse struct {
+	engine.Stats
+	Serving servingStats `json:"serving"`
+}
+
 // handleStats implements GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:   s.eng.Stats(),
+		Serving: s.servingSnapshot(),
+	})
 }
 
 // runRequest is the POST /v1/run body. Seed is a pointer so an explicit 0

@@ -345,3 +345,124 @@ func TestRealSimulationThroughService(t *testing.T) {
 		t.Fatalf("engine stats %+v, want 1 simulation + 1 hit", s)
 	}
 }
+
+// TestMetricsEndpoint drives a few requests through the service and
+// asserts the /metrics exposition carries per-endpoint latency
+// histograms, status-class counters and the engine's cache/dedup/trace
+// counters — the acceptance shape every scraper depends on.
+func TestMetricsEndpoint(t *testing.T) {
+	sim := func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		return cpu.Result{Config: cfg.Name, Benchmark: b, Cycles: 1}
+	}
+	ts, _ := newTestServer(t, sim, Options{})
+
+	body := `{"config":"MALEC","benchmark":"gzip","instructions":1000,"seed":1}`
+	post(t, ts.URL+"/v1/run", body)                                     // simulated
+	post(t, ts.URL+"/v1/run", body)                                     // memory hit
+	post(t, ts.URL+"/v1/run", `{"config":"NoSuch","benchmark":"gzip"}`) // 400
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	for _, want := range []string{
+		`malecd_http_requests_total{endpoint="/v1/run",code="2xx"} 2`,
+		`malecd_http_requests_total{endpoint="/v1/run",code="4xx"} 1`,
+		`malecd_http_request_seconds_bucket{endpoint="/v1/run",le="+Inf"} 3`,
+		`malecd_http_request_seconds_count{endpoint="/v1/run"} 3`,
+		`malecd_http_in_flight{endpoint="/v1/run"} 0`,
+		"# TYPE malecd_http_request_seconds histogram",
+		"malec_engine_cache_hits_total 1",
+		"malec_engine_simulations_total 1",
+		"malec_engine_dedup_total 0",
+		"malec_engine_queue_depth 0",
+		"malec_engine_running 0",
+		"malecd_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", text)
+	}
+}
+
+// TestStatsShapeRegression pins the /v1/stats JSON contract: every
+// pre-existing engine field name stays at the top level, and the new
+// serving section reports uptime and per-endpoint totals.
+func TestStatsShapeRegression(t *testing.T) {
+	sim := func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		return cpu.Result{Config: cfg.Name, Benchmark: b, Cycles: 1}
+	}
+	ts, _ := newTestServer(t, sim, Options{})
+	body := `{"config":"MALEC","benchmark":"gzip","instructions":1000,"seed":1}`
+	post(t, ts.URL+"/v1/run", body)
+	post(t, ts.URL+"/v1/run", body)
+
+	var raw map[string]json.RawMessage
+	get(t, ts.URL+"/v1/stats", &raw)
+	// The engine fields served before this layer existed must not move.
+	for _, legacy := range []string{
+		"hits", "diskHits", "dedup", "simulations", "entries",
+		"traceHits", "traceMisses", "traceRecords",
+	} {
+		if _, ok := raw[legacy]; !ok {
+			t.Errorf("/v1/stats lost top-level field %q", legacy)
+		}
+	}
+	var hits uint64
+	if err := json.Unmarshal(raw["hits"], &hits); err != nil || hits != 1 {
+		t.Errorf("hits = %s, want 1", raw["hits"])
+	}
+
+	var serving struct {
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+		Requests      uint64  `json:"requests"`
+		Errors        uint64  `json:"errors"`
+		Endpoints     map[string]struct {
+			Requests uint64 `json:"requests"`
+			Errors   uint64 `json:"errors"`
+			InFlight int64  `json:"inFlight"`
+			Latency  struct {
+				Count uint64  `json:"count"`
+				P50Ms float64 `json:"p50Ms"`
+				P99Ms float64 `json:"p99Ms"`
+				MaxMs float64 `json:"maxMs"`
+			} `json:"latency"`
+		} `json:"endpoints"`
+	}
+	if raw["serving"] == nil {
+		t.Fatalf("/v1/stats has no serving section")
+	}
+	if err := json.Unmarshal(raw["serving"], &serving); err != nil {
+		t.Fatal(err)
+	}
+	if serving.UptimeSeconds < 0 {
+		t.Errorf("uptimeSeconds = %v", serving.UptimeSeconds)
+	}
+	run, ok := serving.Endpoints["/v1/run"]
+	if !ok {
+		t.Fatalf("serving.endpoints missing /v1/run: %+v", serving.Endpoints)
+	}
+	if run.Requests != 2 || run.Errors != 0 || run.Latency.Count != 2 {
+		t.Errorf("/v1/run endpoint stats = %+v, want 2 requests / 0 errors", run)
+	}
+	if serving.Requests < 2 {
+		t.Errorf("aggregate requests = %d, want >= 2", serving.Requests)
+	}
+	// The stats request itself is instrumented too.
+	if _, ok := serving.Endpoints["/v1/stats"]; !ok {
+		t.Errorf("serving.endpoints missing /v1/stats")
+	}
+}
