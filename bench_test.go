@@ -172,6 +172,26 @@ func BenchmarkSimStressBrstorm(b *testing.B) { benchmarkStress(b, "brstorm") }
 // (page-table walks on most references).
 func BenchmarkSimStressTLBThrash(b *testing.B) { benchmarkStress(b, "tlbthrash") }
 
+// BenchmarkSimSampled measures the sampled fast path end to end (functional
+// warming + shadow measurement bursts, no checkpoint reuse) on a schedule
+// scaled to the benchmark budget. The instr/s metric is the cold sampled
+// throughput tracked in BENCH_core.json's sampled_sim section; warm
+// (checkpoint-restoring) throughput is measured by malecbench
+// -sampled-compare.
+func BenchmarkSimSampled(b *testing.B) {
+	const n = 100000
+	cfg := MALEC()
+	cfg.Sampling = &Sampling{Warmup: 200, Detail: 800, Interval: 20000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Run(cfg, "gzip", n, 1)
+		if r.Sampling == nil {
+			b.Fatal("sampled path did not engage")
+		}
+	}
+	reportInstrPerSec(b, n)
+}
+
 // BenchmarkTraceGeneration measures synthetic workload generation.
 func BenchmarkTraceGeneration(b *testing.B) {
 	b.ReportAllocs()

@@ -9,6 +9,8 @@
 //	malecbench -bench gzip,mcf    # restrict the benchmark set
 //	malecbench -throughput        # simulator throughput mode (JSON)
 //	malecbench -throughput -bench ptrchase   # stall-heavy stress profile
+//	malecbench -throughput -sample -n 100000000   # sampled fast path
+//	malecbench -sampled-compare -n 10000000 -sample-max-err 1
 //	malecbench -exp fig4 -cpuprofile cpu.pb.gz -memprofile heap.pb.gz
 //
 // Throughput mode measures the simulator itself instead of the paper's
@@ -43,7 +45,31 @@ import (
 	"malec/internal/engine"
 	"malec/internal/experiments"
 	"malec/internal/stats"
+	"malec/internal/trace"
 )
+
+// samplingInfo summarizes a sampled run's estimate quality in JSON output.
+type samplingInfo struct {
+	Windows          int     `json:"windows"`
+	Warmup           int     `json:"warmup"`
+	Detail           int     `json:"detail"`
+	Interval         int     `json:"interval"`
+	CPIRelCI         float64 `json:"cpi_rel_ci95"`
+	EnergyRelCI      float64 `json:"energy_rel_ci95"`
+	CheckpointHits   int     `json:"checkpoint_hits"`
+	CheckpointMisses int     `json:"checkpoint_misses"`
+}
+
+func samplingInfoOf(s *cpu.SamplingEstimate) *samplingInfo {
+	if s == nil {
+		return nil
+	}
+	return &samplingInfo{
+		Windows: s.Windows, Warmup: s.Warmup, Detail: s.Detail, Interval: s.Interval,
+		CPIRelCI: s.CPIRelHalfWidth, EnergyRelCI: s.EnergyRelHalfWidth,
+		CheckpointHits: s.CheckpointHits, CheckpointMisses: s.CheckpointMisses,
+	}
+}
 
 // throughputRow is one interface variant's measurement in -throughput mode.
 type throughputRow struct {
@@ -64,6 +90,9 @@ type throughputRow struct {
 	// breakdown from the meter (picojoules), so perf/energy trade-offs
 	// across configurations are visible without a full campaign.
 	Energy energyReport `json:"energy"`
+	// Sampling is present when the run used the sampled fast path
+	// (-sample): window count, schedule and confidence intervals.
+	Sampling *samplingInfo `json:"sampling,omitempty"`
 }
 
 // componentEnergy is one component's share of the energy breakdown.
@@ -126,7 +155,7 @@ type throughputReport struct {
 // second and allocations per run) for each L1 interface variant. Wall time
 // is the best of runs (the least-disturbed sample); allocations are exact
 // per-run averages from the runtime's allocation counters.
-func runThroughput(benchmark string, instructions int, seed uint64, runs int) throughputReport {
+func runThroughput(benchmark string, instructions int, seed uint64, runs int, sch *config.Sampling) throughputReport {
 	rep := throughputReport{
 		Mode:         "throughput",
 		Benchmark:    benchmark,
@@ -138,12 +167,19 @@ func runThroughput(benchmark string, instructions int, seed uint64, runs int) th
 	// Warm-ups go through an engine so the report carries engine cache
 	// vocabulary (simulations, trace hits/misses) alongside the raw
 	// timings; the timed loop stays direct so cache hits can't be
-	// mistaken for simulator throughput.
+	// mistaken for simulator throughput. Sampled mode (-sample) warms up
+	// directly instead: the engine would materialize the full trace arena,
+	// which at sampled-scale instruction counts defeats the point.
 	eng := engine.New(engine.Options{})
 	cfgs := []config.Config{config.Base1ldst(), config.Base2ld1st(), config.MALEC(),
 		config.MALECWithWDU(16)}
 	for _, cfg := range cfgs {
-		eng.Run(cfg, benchmark, instructions, seed) // warm-up
+		if sch != nil {
+			cfg.Sampling = sch
+			cpu.RunBenchmark(cfg, benchmark, instructions, seed) // warm-up
+		} else {
+			eng.Run(cfg, benchmark, instructions, seed) // warm-up
+		}
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		best := time.Duration(1<<63 - 1)
@@ -171,11 +207,142 @@ func runThroughput(benchmark string, instructions int, seed uint64, runs int) th
 			row.SkippedCycles = last.Telemetry.Get(stats.CtrSkippedCycles)
 			row.SkipJumps = last.Telemetry.Get(stats.CtrSkipJumps)
 		}
+		row.Sampling = samplingInfoOf(last.Sampling)
 		rep.Configs = append(rep.Configs, row)
 	}
 	rep.WallSeconds = time.Since(t0).Seconds()
 	rep.Engine = eng.Stats()
 	return rep
+}
+
+// mapCheckpoints is a process-local checkpoint store for the compare mode:
+// the cold sampled run saves into it, the warm run restores from it — the
+// campaign steady state (every core-side config variant after the first)
+// measured in isolation.
+type mapCheckpoints map[uint64]*cpu.Checkpoint
+
+func (m mapCheckpoints) Load(n uint64) (*cpu.Checkpoint, bool) { ck, ok := m[n]; return ck, ok }
+func (m mapCheckpoints) Save(n uint64, ck *cpu.Checkpoint)     { m[n] = ck }
+
+// sampledCompareRow is one configuration's exact-vs-sampled differential.
+type sampledCompareRow struct {
+	Config             string  `json:"config"`
+	ExactCycles        uint64  `json:"exact_cycles"`
+	SampledCycles      uint64  `json:"sampled_cycles"`
+	CycleErrPct        float64 `json:"cycle_err_pct"`
+	EnergyErrPct       float64 `json:"energy_err_pct"`
+	ExactSeconds       float64 `json:"exact_seconds"`
+	SampledSeconds     float64 `json:"sampled_seconds"`
+	Speedup            float64 `json:"speedup"`
+	ExactInstrPerSec   float64 `json:"exact_instr_per_sec"`
+	SampledInstrPerSec float64 `json:"sampled_instr_per_sec"`
+	// Warm* measure a second sampled run that restores the warmed
+	// checkpoints the first one saved — the per-run cost of every
+	// subsequent core-side config variant in a campaign.
+	WarmSeconds     float64       `json:"warm_seconds"`
+	WarmSpeedup     float64       `json:"warm_speedup"`
+	WarmInstrPerSec float64       `json:"warm_instr_per_sec"`
+	WarmHits        int           `json:"warm_checkpoint_hits"`
+	Sampling        *samplingInfo `json:"sampling"`
+}
+
+// sampledCompareReport is the JSON document -sampled-compare prints.
+type sampledCompareReport struct {
+	Mode         string              `json:"mode"`
+	Benchmark    string              `json:"benchmark"`
+	Instructions int                 `json:"instructions_per_run"`
+	Seed         uint64              `json:"seed"`
+	MaxErrPct    float64             `json:"max_err_pct"`
+	Configs      []sampledCompareRow `json:"configs"`
+	WallSeconds  float64             `json:"wall_seconds"`
+}
+
+// runSampledCompare runs each interface variant exactly and sampled on the
+// same workload and reports the estimation error and speedup. ok is false
+// when any cycle or energy error exceeds maxErrPct — the CI smoke's pass
+// criterion, and the evidence behind BENCH_core.json's sampled_sim section.
+func runSampledCompare(benchmark string, instructions int, seed uint64, sch config.Sampling, maxErrPct float64) (sampledCompareReport, bool) {
+	rep := sampledCompareReport{
+		Mode:         "sampled_compare",
+		Benchmark:    benchmark,
+		Instructions: instructions,
+		Seed:         seed,
+		MaxErrPct:    maxErrPct,
+	}
+	t0 := time.Now()
+	ok := true
+	cfgs := []config.Config{config.Base1ldst(), config.Base2ld1st(), config.MALEC(),
+		config.MALECWithWDU(16)}
+	for _, cfg := range cfgs {
+		te := time.Now()
+		exact := cpu.RunBenchmark(cfg, benchmark, instructions, seed)
+		exactDur := time.Since(te)
+
+		scfg := cfg
+		scfg.Sampling = &sch
+		ckpts := mapCheckpoints{}
+		prof := trace.Profiles[benchmark]
+		ts := time.Now()
+		sampled := cpu.RunWithCheckpoints(scfg, benchmark,
+			&cpu.GenSource{Gen: trace.NewGenerator(prof, seed), N: instructions}, ckpts)
+		sampledDur := time.Since(ts)
+
+		tw := time.Now()
+		warm := cpu.RunWithCheckpoints(scfg, benchmark,
+			&cpu.GenSource{Gen: trace.NewGenerator(prof, seed), N: instructions}, ckpts)
+		warmDur := time.Since(tw)
+
+		cycleErr := 100 * (float64(sampled.Cycles) - float64(exact.Cycles)) / float64(exact.Cycles)
+		energyErr := 100 * (sampled.Energy.Total() - exact.Energy.Total()) / exact.Energy.Total()
+		row := sampledCompareRow{
+			Config:             cfg.Name,
+			ExactCycles:        exact.Cycles,
+			SampledCycles:      sampled.Cycles,
+			CycleErrPct:        cycleErr,
+			EnergyErrPct:       energyErr,
+			ExactSeconds:       exactDur.Seconds(),
+			SampledSeconds:     sampledDur.Seconds(),
+			Speedup:            exactDur.Seconds() / sampledDur.Seconds(),
+			ExactInstrPerSec:   float64(exact.Instructions) / exactDur.Seconds(),
+			SampledInstrPerSec: float64(sampled.Instructions) / sampledDur.Seconds(),
+			WarmSeconds:        warmDur.Seconds(),
+			WarmSpeedup:        exactDur.Seconds() / warmDur.Seconds(),
+			WarmInstrPerSec:    float64(warm.Instructions) / warmDur.Seconds(),
+			Sampling:           samplingInfoOf(sampled.Sampling),
+		}
+		if warm.Sampling != nil {
+			row.WarmHits = warm.Sampling.CheckpointHits
+		}
+		if warm.Cycles != sampled.Cycles || warm.Instructions != sampled.Instructions {
+			fmt.Fprintf(os.Stderr, "malecbench: %s checkpoint-warm run diverged: cycles %d vs %d, instructions %d vs %d\n",
+				cfg.Name, warm.Cycles, sampled.Cycles, warm.Instructions, sampled.Instructions)
+			ok = false
+		}
+		if row.WarmHits == 0 {
+			fmt.Fprintf(os.Stderr, "malecbench: %s warm run restored no checkpoints\n", cfg.Name)
+			ok = false
+		}
+		if row.Sampling == nil {
+			fmt.Fprintf(os.Stderr, "malecbench: %s did not take the sampled path (n=%d < interval=%d?)\n",
+				cfg.Name, instructions, sch.Interval)
+			ok = false
+		}
+		if abs(cycleErr) > maxErrPct || abs(energyErr) > maxErrPct {
+			fmt.Fprintf(os.Stderr, "malecbench: %s sampling error out of bounds: cycles %+.3f%%, energy %+.3f%% (limit %.3f%%)\n",
+				cfg.Name, cycleErr, energyErr, maxErrPct)
+			ok = false
+		}
+		rep.Configs = append(rep.Configs, row)
+	}
+	rep.WallSeconds = time.Since(t0).Seconds()
+	return rep, ok
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 func main() { os.Exit(run()) }
@@ -195,6 +362,12 @@ func run() (code int) {
 		quiet      = flag.Bool("quiet", false, "suppress progress notes on stderr")
 		throughput = flag.Bool("throughput", false, "measure simulator throughput instead of regenerating figures; prints JSON")
 		tputRuns   = flag.Int("throughput-runs", 3, "timed runs per configuration in -throughput mode")
+		sample     = flag.Bool("sample", false, "run -throughput through the sampled fast path (interval sampling + functional warming)")
+		sampledCmp = flag.Bool("sampled-compare", false, "run each variant exactly and sampled, print the differential as JSON; exit nonzero past -sample-max-err")
+		sampleWarm = flag.Int("sample-warmup", config.DefaultSampling().Warmup, "detailed-warmup instructions per measurement window")
+		sampleDet  = flag.Int("sample-detail", config.DefaultSampling().Detail, "measured instructions per window")
+		sampleInt  = flag.Int("sample-interval", config.DefaultSampling().Interval, "instructions per sampling interval (one window each)")
+		sampleErr  = flag.Float64("sample-max-err", 5, "max |cycle or energy error| percent for -sampled-compare to pass")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this file")
 	)
@@ -230,12 +403,40 @@ func run() (code int) {
 		}()
 	}
 
+	sch := config.Sampling{Warmup: *sampleWarm, Detail: *sampleDet, Interval: *sampleInt}
+	if (*sample || *sampledCmp) && !sch.Valid() {
+		fmt.Fprintf(os.Stderr, "malecbench: invalid sampling schedule %+v\n", sch)
+		return 2
+	}
+
+	if *sampledCmp {
+		benchmark := "gzip"
+		if *bench != "" {
+			benchmark = strings.Split(*bench, ",")[0]
+		}
+		rep, ok := runSampledCompare(benchmark, *n, *seed, sch, *sampleErr)
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "malecbench:", err)
+			return 1
+		}
+		fmt.Println(string(out))
+		if !ok {
+			return 1
+		}
+		return 0
+	}
+
 	if *throughput {
 		benchmark := "gzip"
 		if *bench != "" {
 			benchmark = strings.Split(*bench, ",")[0]
 		}
-		rep := runThroughput(benchmark, *n, *seed, *tputRuns)
+		var schp *config.Sampling
+		if *sample {
+			schp = &sch
+		}
+		rep := runThroughput(benchmark, *n, *seed, *tputRuns, schp)
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "malecbench:", err)

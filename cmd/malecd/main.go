@@ -51,6 +51,7 @@ func main() {
 		maxJobs  = flag.Int("max-sweep-jobs", 4096, "per-sweep expanded job limit")
 		maxCache = flag.Int("max-cache-entries", 1<<14, "in-memory result cache bound (oldest evicted; 0 = unbounded)")
 		traceRec = flag.Int("trace-cache", 0, "materialized-trace cache bound in records shared across configs (0 = default, negative = regenerate traces per simulation)")
+		ckptEnt  = flag.Int("checkpoint-entries", 0, "in-memory warmed-checkpoint cache bound for sampled simulations (0 = default, negative = disable checkpointing)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the same listener")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests on SIGINT/SIGTERM")
 	)
@@ -61,6 +62,7 @@ func main() {
 		CacheDir:          *cacheDir,
 		MaxCacheEntries:   *maxCache,
 		TraceCacheRecords: *traceRec,
+		CheckpointEntries: *ckptEnt,
 	})
 	api := server.New(eng, server.Options{
 		MaxInstructions: *maxInstr,

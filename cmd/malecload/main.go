@@ -315,6 +315,7 @@ func run() int {
 		maxInfl   = flag.Int("max-inflight", 1024, "in-flight request cap; arrivals beyond it are dropped (counted as errors)")
 		warmup    = flag.Bool("warmup", true, "synchronously prime each population once before measuring")
 		seedBase  = flag.Uint64("run-seed-base", 0, "first seed for the run population (0: derive from wall clock, unique per invocation)")
+		seedBase2 = flag.Uint64("seed-base", 0, "alias for -run-seed-base")
 		findSat   = flag.Bool("find-saturation", false, "binary-search the max sustainable RPS instead of running a fixed shape")
 		satErr    = flag.Float64("sat-max-error-rate", 0.01, "max error rate for a saturation probe to pass")
 		satRatio  = flag.Float64("sat-min-achieved", 0.95, "min achieved/offered ratio for a saturation probe to pass")
@@ -340,6 +341,9 @@ func run() int {
 		seedBase:     *seedBase,
 		instructions: *instr,
 		inflight:     make(chan struct{}, *maxInfl),
+	}
+	if g.seedBase == 0 {
+		g.seedBase = *seedBase2
 	}
 	if g.seedBase == 0 {
 		g.seedBase = uint64(time.Now().UnixNano())

@@ -137,6 +137,43 @@ type Config struct {
 	// Physical port counts beyond single-ported, for the energy model.
 	L1ExtraPorts  int
 	TLBExtraPorts int
+
+	// Sampling, when non-nil, switches the run to SMARTS-style interval
+	// sampling: the trace functionally warms the memory side (caches,
+	// TLBs, way tables, page table) between detailed measurement windows,
+	// and cycles/energy are extrapolated from the windows with confidence
+	// intervals. Unlike the Disable* toggles above this changes simulated
+	// results (they become estimates), so it participates in the config
+	// digest; the exact path remains the differential reference behind
+	// Sampling == nil or MALEC_NO_SAMPLING=1 (any non-empty value). The
+	// field is a pointer with omitempty so every existing config marshals
+	// byte-identically and keeps its cache key.
+	Sampling *Sampling `json:",omitempty"`
+}
+
+// Sampling is the (warmup, detail, interval) schedule of one sampled run.
+// Each interval of Interval instructions ends with a measurement burst:
+// Warmup instructions run on the detailed core to absorb cold-start
+// transients, then Detail instructions are measured. Everything outside
+// the burst is functionally warmed only. Warmup+Detail must not exceed
+// Interval; runs shorter than one interval fall back to the exact path.
+type Sampling struct {
+	Warmup   int
+	Detail   int
+	Interval int
+}
+
+// DefaultSampling returns the default schedule used by the -sample flags:
+// 1% detail (2k warmup + 8k detail per 1M instructions), which measures
+// well under 1% cycle error on the paper benchmarks (see EXPERIMENTS.md).
+func DefaultSampling() *Sampling {
+	return &Sampling{Warmup: 2000, Detail: 8000, Interval: 1_000_000}
+}
+
+// Valid reports whether the schedule is internally consistent.
+func (s *Sampling) Valid() bool {
+	return s.Warmup >= 0 && s.Detail > 0 && s.Interval > 0 &&
+		s.Warmup+s.Detail <= s.Interval
 }
 
 // tabII fills the processor and memory parameters shared by every

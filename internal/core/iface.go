@@ -97,6 +97,13 @@ type System struct {
 	// detector classifies streaming pages for run-time bypassing
 	// (nil when disabled).
 	detector *cache.StreamDetector
+
+	// warming gates the energy charges inside the L1 fill/evict hooks:
+	// the functional-warming fast-forward drives fills and evictions
+	// through the same hooks (way-table state must stay coherent) but
+	// meters nothing — sampled energy comes from the detailed windows
+	// only. Never set on the exact path.
+	warming bool
 }
 
 // NewSystem builds the shared structures for a configuration.
@@ -193,21 +200,27 @@ func segTable(name string, slots int, cfg config.Config) waytable.Store {
 // Way-table maintenance performs reverse lookups on the physical tag arrays
 // of uTLB and TLB and a single-line code update.
 func (s *System) onFill(pline mem.Addr, set, way int) {
-	s.MeterV.ReverseLookups(true, true)
-	s.MeterV.UWTLineUpdate()
+	if !s.warming {
+		s.MeterV.ReverseLookups(true, true)
+		s.MeterV.UWTLineUpdate()
+	}
 	s.PageD.OnFill(pline, set, way)
 }
 
 // onEvict charges and forwards an L1 eviction to the way tables.
 func (s *System) onEvict(pline mem.Addr, set, way int) {
-	s.MeterV.ReverseLookups(true, true)
-	s.MeterV.UWTLineUpdate()
+	if !s.warming {
+		s.MeterV.ReverseLookups(true, true)
+		s.MeterV.UWTLineUpdate()
+	}
 	s.PageD.OnEvict(pline, set, way)
 }
 
 // onFillWDU forwards fills to the WDU.
 func (s *System) onFillWDU(pline mem.Addr, set, way int) {
-	s.MeterV.WDUUpdate()
+	if !s.warming {
+		s.MeterV.WDUUpdate()
+	}
 	s.WDUD.OnFill(pline, set, way)
 }
 

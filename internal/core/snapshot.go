@@ -1,0 +1,79 @@
+package core
+
+// SystemState is the microarchitectural checkpoint: a complete, exported,
+// JSON-able snapshot of every memory-side structure whose contents depend
+// on the access history — L1, L2/DRAM, both TLBs (entries, statistics and
+// replacement-policy state), the page table, way-determination state and
+// the stream detector. Its JSON encoding doubles as the checkpoint disk
+// format.
+//
+// A snapshot is only meaningful on a system that has been functionally
+// warmed (WarmLoad/WarmStore): warming never touches the store/merge
+// buffers, the completion calendar or the MSHRs, so those are empty by
+// construction and are not part of the state. Restoring transplants the
+// snapshot into a freshly constructed same-memory-side-config System; no
+// maintenance hooks fire, and derived lookup indexes are rebuilt from the
+// restored contents inside each package.
+
+import (
+	"malec/internal/cache"
+	"malec/internal/tlb"
+	"malec/internal/waytable"
+)
+
+// SystemState aggregates the per-package snapshots.
+type SystemState struct {
+	L1   cache.L1State
+	Back cache.BacksideState
+	UTLB tlb.TLBState
+	TLB  tlb.TLBState
+	PT   tlb.PageTableState
+
+	PageD *waytable.PageSystemState `json:",omitempty"`
+	WDU   *waytable.WDUState        `json:",omitempty"`
+	Det   *cache.DetectorState      `json:",omitempty"`
+}
+
+// CaptureState snapshots the system's memory-side state. The system is
+// unmodified.
+func (s *System) CaptureState() *SystemState {
+	st := &SystemState{
+		L1:   s.L1.CaptureState(),
+		Back: s.Back.CaptureState(),
+		UTLB: s.Hier.U.CaptureState(),
+		TLB:  s.Hier.Main.CaptureState(),
+		PT:   s.Hier.PT.CaptureState(),
+	}
+	if s.PageD != nil {
+		ps := s.PageD.CaptureState()
+		st.PageD = &ps
+	}
+	if s.WDUD != nil {
+		ws := s.WDUD.CaptureState()
+		st.WDU = &ws
+	}
+	if s.detector != nil {
+		ds := s.detector.CaptureState()
+		st.Det = &ds
+	}
+	return st
+}
+
+// RestoreState transplants a snapshot captured from a system with the same
+// memory-side configuration (cache/TLB/way-table geometry, seed, bypass).
+func (s *System) RestoreState(st *SystemState) {
+	s.L1.RestoreState(st.L1)
+	s.Back.RestoreState(st.Back)
+	s.Hier.U.RestoreState(st.UTLB)
+	s.Hier.Main.RestoreState(st.TLB)
+	s.Hier.PT.RestoreState(st.PT)
+	if s.PageD != nil && st.PageD != nil {
+		s.PageD.RestoreState(*st.PageD)
+	}
+	if s.WDUD != nil && st.WDU != nil {
+		s.WDUD.RestoreState(*st.WDU)
+	}
+	if s.detector != nil && st.Det != nil {
+		s.detector.RestoreState(*st.Det)
+	}
+}

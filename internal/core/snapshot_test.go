@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"malec/internal/config"
+	"malec/internal/trace"
+)
+
+// warmRecords drives a warmed system over one slice of a trace.
+func warmRecords(s *System, recs []trace.Record) {
+	for _, rec := range recs {
+		switch rec.Kind {
+		case trace.Load:
+			s.WarmLoad(rec.Addr)
+		case trace.Store:
+			s.WarmStore(rec.Addr)
+		}
+	}
+}
+
+// stateJSON captures a system's memory-side state as canonical JSON bytes.
+func stateJSON(t *testing.T, s *System) []byte {
+	t.Helper()
+	data, err := json.Marshal(s.CaptureState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCheckpointRoundTrip is the randomized checkpoint property test:
+// capture a warmed system at a random record index N, restore the snapshot
+// into a fresh system (through a JSON round trip, i.e. the disk format),
+// continue warming both to a random index M, and require the final states
+// to be byte-identical. Covers every snapshot variant: way tables
+// (plain and segmented), the WDU, the bypass stream detector, and the
+// baseline with no way determination.
+func TestCheckpointRoundTrip(t *testing.T) {
+	configs := []config.Config{
+		config.Base1ldst(),
+		config.MALEC(),
+		config.MALECSegmentedWT(8, 0.5),
+		config.MALECWithWDU(16),
+		config.MALECBypass(),
+	}
+	benches := []string{"gzip", "ptrchase", "tlbthrash"}
+	rnd := rand.New(rand.NewSource(20130318)) // deterministic trials
+
+	for _, cfg := range configs {
+		for _, bench := range benches {
+			for trial := 0; trial < 3; trial++ {
+				n := 1000 + rnd.Intn(20000)
+				m := n + 1000 + rnd.Intn(20000)
+				seed := uint64(1 + rnd.Intn(8))
+				name := fmt.Sprintf("%s/%s/n=%d/m=%d/seed=%d", cfg.Name, bench, n, m, seed)
+
+				recs := trace.NewGenerator(trace.Profiles[bench], seed).Generate(m)
+
+				ref := NewSystem(cfg)
+				ref.SetWarming(true)
+				warmRecords(ref, recs[:n])
+
+				ckJSON := stateJSON(t, ref)
+				var ck SystemState
+				if err := json.Unmarshal(ckJSON, &ck); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				restored := NewSystem(cfg)
+				restored.SetWarming(true)
+				restored.RestoreState(&ck)
+
+				// A restore must reproduce the captured state exactly before
+				// any further access.
+				if got := stateJSON(t, restored); !bytes.Equal(got, ckJSON) {
+					t.Fatalf("%s: restored state differs from snapshot at n", name)
+				}
+
+				// Uninterrupted vs restore-then-continue must stay
+				// bit-identical through arbitrary further warming.
+				warmRecords(ref, recs[n:])
+				warmRecords(restored, recs[n:])
+				if !bytes.Equal(stateJSON(t, ref), stateJSON(t, restored)) {
+					t.Errorf("%s: state diverged after continuing to m", name)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorStateRoundTrip is the source-side half of the checkpoint
+// property: capturing a generator at a random index and restoring the
+// snapshot into a fresh generator of the same (profile, seed) must
+// reproduce the identical remaining record sequence.
+func TestGeneratorStateRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for _, bench := range []string{"gzip", "mcf", "ptrchase", "tlbthrash"} {
+		for trial := 0; trial < 3; trial++ {
+			n := 1 + rnd.Intn(30000)
+			m := 1 + rnd.Intn(10000)
+			seed := uint64(1 + rnd.Intn(8))
+			prof := trace.Profiles[bench]
+
+			g := trace.NewGenerator(prof, seed)
+			g.Generate(n)
+			st := g.CaptureState()
+			data, err := json.Marshal(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back trace.GeneratorState
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+
+			fresh := trace.NewGenerator(prof, seed)
+			if !fresh.RestoreState(&back) {
+				t.Fatalf("%s/n=%d/seed=%d: restore rejected a matching snapshot", bench, n, seed)
+			}
+			want := g.Generate(m)
+			got := fresh.Generate(m)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/n=%d/seed=%d: record %d diverged: %+v vs %+v",
+						bench, n, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

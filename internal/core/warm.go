@@ -1,0 +1,84 @@
+package core
+
+// Functional warming: the fast-forward mode of the sampled simulator. A
+// warmed access drives the full memory-side state machine — TLB hierarchy
+// (with refills, evictions and way-table synchronization hooks), way
+// determination, L1 placement/replacement with the fill/evict hooks, the
+// stream detector and the L2/DRAM residency models — but touches nothing
+// cycle-accurate: no energy metering, no event counters, no calendar, no
+// MSHRs, and no store/merge buffering (stores write through at line
+// granularity, matching the state a drained detailed machine converges
+// to). The warm trajectory therefore depends only on memory-side
+// configuration and the record stream, which is what makes warmed
+// checkpoints shareable across core-side config sweeps.
+//
+// Everything here is allocation-free (gated by the CI allocs/op ceiling on
+// the sampled benchmark).
+
+import "malec/internal/mem"
+
+// SetWarming marks the system as functionally warming, disabling the
+// energy charges inside the L1 fill/evict hooks.
+func (s *System) SetWarming(on bool) { s.warming = on }
+
+// WarmLoad functionally performs one load: translate, way-determine,
+// access the L1 in the mode the detailed path would pick, learn feedback,
+// and service misses through the backside. Mirrors System.loadAccess minus
+// metering, counters and latency.
+func (s *System) WarmLoad(va mem.Addr) {
+	res := s.Hier.Translate(va.Page())
+	pa := mem.MakeAddr(res.PPage, va.PageOffset())
+	way, known := s.Det.Lookup(pa, res.UIdx)
+	if known {
+		s.L1.ReadReduced(pa, way)
+		if s.detector != nil {
+			s.detector.Observe(pa.Page(), false)
+		}
+		return
+	}
+	hitWay, hit := s.L1.ReadConventional(pa)
+	bypassed := false
+	if s.detector != nil && !hit {
+		bypassed = s.detector.ShouldBypass(pa.Page())
+	}
+	if s.detector != nil && !bypassed {
+		s.detector.Observe(pa.Page(), !hit)
+	}
+	if hit {
+		s.Det.Feedback(pa, res.UIdx, hitWay)
+		return
+	}
+	s.Back.Miss(pa)
+	if bypassed {
+		return
+	}
+	_, victim, wb := s.L1.Fill(pa)
+	if wb {
+		s.Back.Writeback(victim)
+	}
+}
+
+// WarmStore functionally performs one store at line granularity: the state
+// a detailed run converges to once the store has drained through the store
+// and merge buffers and its MBE has written the line. Mirrors
+// System.mbeWrite minus metering, counters and latency.
+func (s *System) WarmStore(va mem.Addr) {
+	res := s.Hier.Translate(va.Page())
+	pline := mem.MakeAddr(res.PPage, va.PageOffset()).LineAddr()
+	way, known := s.Det.Lookup(pline, res.UIdx)
+	if known {
+		s.L1.WriteReduced(pline, way)
+		return
+	}
+	hitWay, hit := s.L1.Write(pline)
+	if hit {
+		s.Det.Feedback(pline, res.UIdx, hitWay)
+		return
+	}
+	s.Back.Miss(pline)
+	_, victim, wb := s.L1.Fill(pline)
+	if wb {
+		s.Back.Writeback(victim)
+	}
+	s.L1.MarkDirty(pline)
+}

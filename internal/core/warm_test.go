@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"malec/internal/config"
+	"malec/internal/trace"
+)
+
+// TestWarmingAllocationFree locks in the allocation-free functional-warming
+// fast path: once the footprint-tracking maps (page table, stream detector,
+// segmented-WT pool) have absorbed the workload's pages, warming additional
+// records must not allocate. This is the CI ceiling guarding the sampled
+// simulator's fast-forward throughput.
+func TestWarmingAllocationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	recs := trace.NewGenerator(trace.Profiles["gzip"], 1).Generate(60000)
+	configs := []config.Config{
+		config.Base1ldst(),
+		config.MALEC(),
+		config.MALECSegmentedWT(8, 0.5),
+		config.MALECWithWDU(16),
+		config.MALECBypass(),
+	}
+	for _, cfg := range configs {
+		sys := NewSystem(cfg)
+		sys.SetWarming(true)
+		warmRecords(sys, recs[:20000]) // absorb footprint growth
+		allocs := testing.AllocsPerRun(5, func() {
+			warmRecords(sys, recs[20000:])
+		})
+		if allocs > 8 {
+			t.Errorf("%s: %.0f allocs per 40k warmed records, want <= 8", cfg.Name, allocs)
+		}
+	}
+}
+
+// BenchmarkWarming measures functional-warming throughput (records/s via
+// the instr/s metric): the speed floor of the sampled simulator's
+// fast-forward between measurement windows.
+func BenchmarkWarming(b *testing.B) {
+	const n = 30000
+	recs := trace.NewGenerator(trace.Profiles["gzip"], 1).Generate(n)
+	sys := NewSystem(config.MALEC())
+	sys.SetWarming(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warmRecords(sys, recs)
+	}
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	}
+}

@@ -45,6 +45,21 @@ func (s *SliceSource) Next() (trace.Record, bool) {
 	return r, true
 }
 
+// Remaining reports how many records are left (sampling schedule sizing).
+func (s *SliceSource) Remaining() int { return len(s.Records) - s.pos }
+
+// CaptureState implements statefulSource.
+func (s *SliceSource) CaptureState() SourceState { return SourceState{Pos: uint64(s.pos)} }
+
+// RestoreState implements statefulSource.
+func (s *SliceSource) RestoreState(st SourceState) bool {
+	if st.Pos > uint64(len(s.Records)) {
+		return false
+	}
+	s.pos = int(st.Pos)
+	return true
+}
+
 // GenSource adapts a generator bounded to n records.
 type GenSource struct {
 	Gen  *trace.Generator
@@ -59,6 +74,29 @@ func (s *GenSource) Next() (trace.Record, bool) {
 	}
 	s.done++
 	return s.Gen.Next(), true
+}
+
+// Remaining reports how many records are left (sampling schedule sizing).
+func (s *GenSource) Remaining() int { return s.N - s.done }
+
+// CaptureState implements statefulSource.
+func (s *GenSource) CaptureState() SourceState {
+	return SourceState{Gen: s.Gen.CaptureState(), Pos: uint64(s.done)}
+}
+
+// RestoreState implements statefulSource.
+func (s *GenSource) RestoreState(st SourceState) bool {
+	if st.Gen == nil || st.Pos > uint64(s.N) || !s.Gen.RestoreState(st.Gen) {
+		return false
+	}
+	s.done = int(st.Pos)
+	return true
+}
+
+// sizedSource is implemented by sources whose remaining length is known up
+// front; the sampled path needs it to lay out the window schedule.
+type sizedSource interface {
+	Remaining() int
 }
 
 // Result summarizes one simulation run.
@@ -83,12 +121,71 @@ type Result struct {
 	Counters *stats.Counters
 
 	// Telemetry carries host-simulator counters (cycle-skip activity:
-	// stats.CtrSkippedCycles, stats.CtrSkipJumps). They describe how the
-	// simulator executed, not what the simulated machine did, and are
-	// excluded from the JSON encoding so semantic results — golden files,
-	// cached campaign exports — are byte-identical whether cycle skipping
-	// was on or off.
+	// stats.CtrSkippedCycles, stats.CtrSkipJumps; sampling/checkpoint
+	// activity: stats.CtrSampledWindows, stats.CtrSampledWarmedRecords,
+	// stats.CtrCheckpointRestores, stats.CtrCheckpointSaves). They describe
+	// how the simulator executed, not what the simulated machine did, and
+	// are excluded from the JSON encoding so semantic results — golden
+	// files, cached campaign exports — are byte-identical whether cycle
+	// skipping was on or off.
 	Telemetry *stats.Counters `json:"-"`
+
+	// Sampling describes how a sampled run's estimates were formed: the
+	// schedule, the number of measurement windows and per-metric confidence
+	// intervals. Nil on the exact path. Like Telemetry it is excluded from
+	// the JSON encoding, so sampled and exact results share one semantic
+	// shape and the exact path's golden grid is untouched.
+	Sampling *SamplingEstimate `json:"-"`
+}
+
+// SamplingEstimate reports the quality of a sampled run's extrapolation.
+type SamplingEstimate struct {
+	// Windows is the number of detailed measurement windows taken.
+	Windows int
+	// Warmup, Detail, Interval echo the schedule used.
+	Warmup   int
+	Detail   int
+	Interval int
+	// CPIMean is the mean cycles-per-instruction across windows;
+	// CPIRelHalfWidth is the 95% confidence half-width relative to the
+	// mean (1.96 * stderr / mean).
+	CPIMean         float64
+	CPIRelHalfWidth float64
+	// EnergyMean is the mean total dynamic energy per instruction (pJ)
+	// across windows; EnergyRelHalfWidth is its relative 95% half-width.
+	EnergyMean         float64
+	EnergyRelHalfWidth float64
+	// CheckpointHits/Misses count warm-state restores vs fresh warms at
+	// window boundaries (always Misses == Windows when no store is wired).
+	CheckpointHits   int
+	CheckpointMisses int
+	// WarmedRecords counts trace records driven through functional
+	// warming (gap records skipped via checkpoint restore are excluded).
+	WarmedRecords uint64
+}
+
+// RelHalfWidth95 returns the 95% confidence half-width of mean relative to
+// the mean, given per-window samples. Zero when fewer than two windows.
+func RelHalfWidth95(samples []float64) float64 {
+	n := len(samples)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(n)
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, s := range samples {
+		d := s - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return 1.96 * sd / math.Sqrt(float64(n)) / math.Abs(mean)
 }
 
 // SkipRate returns the fraction of simulated cycles that were fast-forwarded
@@ -195,6 +292,14 @@ type machine struct {
 	stores       uint64
 	srcDone      bool
 
+	// retired counts committed instructions; stopAt, when non-zero, makes
+	// run return once retired reaches it (checked at the top of the loop,
+	// so the crossing cycle always completes in full and a subsequent run
+	// continues bit-identically to an uninterrupted one). The sampled path
+	// uses the pair to split a measurement burst into warmup and detail.
+	retired uint64
+	stopAt  uint64
+
 	// pending holds a record pulled from the source that could not be
 	// dispatched (load queue full); it is retried before pulling more.
 	pending    trace.Record
@@ -225,6 +330,33 @@ const frontendRefill = 20
 // every dependency (at most trace.MaxDepWindow back) of every in-flight
 // instruction to still be resident.
 func Run(cfg config.Config, benchmark string, src Source) Result {
+	return RunWithCheckpoints(cfg, benchmark, src, nil)
+}
+
+// RunWithCheckpoints is Run with an optional microarchitectural checkpoint
+// store. When the configuration carries a sampling schedule (and
+// MALEC_NO_SAMPLING is unset, and the source is long enough for at least
+// one interval), the run goes through the sampled fast path and the store
+// is consulted/populated at measurement-window boundaries; otherwise the
+// store is ignored and the run is exact, byte-identical to Run with
+// Sampling == nil.
+func RunWithCheckpoints(cfg config.Config, benchmark string, src Source, ck Checkpoints) Result {
+	if s := cfg.Sampling; s != nil && os.Getenv("MALEC_NO_SAMPLING") == "" {
+		if !s.Valid() {
+			panic(fmt.Sprintf("cpu: invalid sampling schedule %+v (need Detail > 0, Warmup >= 0, Warmup+Detail <= Interval)", *s))
+		}
+		if sized, ok := src.(sizedSource); ok && sized.Remaining() >= s.Interval {
+			return runSampled(cfg, benchmark, src, sized.Remaining(), ck)
+		}
+	}
+	m := newMachine(cfg, core.New(cfg), src)
+	m.run()
+	return m.result(benchmark)
+}
+
+// newMachine builds the transient core-model state over an interface and a
+// source, validating the configuration's geometry.
+func newMachine(cfg config.Config, iface core.Interface, src Source) *machine {
 	if cfg.ROB <= 0 {
 		panic("cpu: ROB size must be positive")
 	}
@@ -237,7 +369,7 @@ func Run(cfg config.Config, benchmark string, src Source) Result {
 	for robCap < cfg.ROB {
 		robCap <<= 1
 	}
-	m := &machine{cfg: cfg, iface: core.New(cfg), src: src,
+	m := &machine{cfg: cfg, iface: iface, src: src,
 		lq:  buffers.NewLoadQueue(cfg.LQ),
 		rob: make([]instr, robCap), robMask: uint64(robCap - 1),
 		depLimit: uint64(doneWindow - cfg.ROB),
@@ -258,8 +390,7 @@ func Run(cfg config.Config, benchmark string, src Source) Result {
 		m.wakeNext = make([]int32, 2*robCap)
 		m.storeSeqs = make([]uint64, robCap)
 	}
-	m.run()
-	return m.result(benchmark)
+	return m
 }
 
 // robAt returns the i-th in-flight instruction, oldest first.
@@ -274,6 +405,9 @@ func (m *machine) run() {
 	lastProgress := int64(0)
 	lastState := ""
 	for {
+		if m.stopAt > 0 && m.retired >= m.stopAt {
+			return
+		}
 		m.cycle++
 		progressed := false
 		for _, c := range m.iface.Tick() {
@@ -313,6 +447,16 @@ func (m *machine) run() {
 			m.trySkip()
 		}
 	}
+}
+
+// runTo continues the cycle loop until the machine has retired target
+// instructions in total (absolute count, not relative to the current
+// position). Because the stop check sits at the top of the loop, stopping
+// and later resuming is bit-identical to an uninterrupted run.
+func (m *machine) runTo(target uint64) {
+	m.stopAt = target
+	m.run()
+	m.stopAt = 0
 }
 
 // trySkip fast-forwards a stalled stretch. After a cycle in which nothing
@@ -476,6 +620,7 @@ func (m *machine) retire() int {
 		}
 		m.robHead = (m.robHead + 1) & m.robMask
 		m.robLen--
+		m.retired++
 		if m.issueHint > 0 {
 			m.issueHint--
 		}

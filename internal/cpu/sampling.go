@@ -1,0 +1,292 @@
+package cpu
+
+// Sampled simulation (tentpole of the sampled+checkpointed-simulation PR):
+// SMARTS-style interval sampling over the trace. The run is divided into
+// fixed intervals; most of each interval is driven through functional
+// warming (core.System.WarmLoad/WarmStore — full memory-side state
+// machine, no cycle accounting), and a short detailed burst at the end of
+// each interval is measured cycle-accurately on a throwaway machine. The
+// per-window CPI and dynamic-energy-per-instruction samples extrapolate to
+// whole-run cycles and energy, with 95% confidence intervals reported in
+// Result.Sampling.
+//
+// Shadow-burst structure: the primary system is ONLY ever functionally
+// warmed, so its trajectory is independent of both the core-side
+// configuration and the sampling schedule. Each burst instead runs on a
+// fresh core.New machine whose memory side is restored from the state
+// captured at burst start and discarded afterwards (its store/merge
+// buffers may be mid-flight when the burst stops, so it is never reused).
+// The burst records are both warmed into the primary and replayed into the
+// shadow, keeping the primary's trajectory identical to a run with no
+// measurement at all — which is exactly the trajectory microarchitectural
+// checkpoints capture and restore.
+
+import (
+	"fmt"
+
+	"malec/internal/config"
+	"malec/internal/core"
+	"malec/internal/energy"
+	"malec/internal/stats"
+	"malec/internal/trace"
+)
+
+// SourceState is an opaque snapshot of a Source's position, carried inside
+// checkpoints so a restore can skip the fast-forwarded stretch of the
+// trace instead of replaying it.
+type SourceState struct {
+	// Gen is the generator snapshot for GenSource-backed runs.
+	Gen *trace.GeneratorState `json:",omitempty"`
+	// Pos is the number of records consumed (both source kinds).
+	Pos uint64
+}
+
+// statefulSource is implemented by sources whose position can be captured
+// and restored; RestoreState reports false when the snapshot does not fit
+// (e.g. a generator snapshot offered to a different source kind).
+type statefulSource interface {
+	CaptureState() SourceState
+	RestoreState(SourceState) bool
+}
+
+// Checkpoint is one warmed snapshot: the memory-side state at a trace
+// index, the stream counts up to it, and (when the source supports it) the
+// source position — everything needed to resume the functional-warming
+// trajectory at that index without touching the records before it.
+type Checkpoint struct {
+	Sys *core.SystemState
+	// Instructions/Loads/Stores count the records before the checkpoint.
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	// Src, when present, lets a restore skip record generation entirely.
+	Src *SourceState `json:",omitempty"`
+}
+
+// Checkpoints is an optional store of warmed snapshots, keyed by the
+// absolute trace-record index at which the snapshot was taken. The caller
+// (the engine) curries the rest of the identity — memory-side config
+// digest, benchmark, seed — so two core-side config variants over the same
+// trace share entries. Load returns a snapshot that must not be mutated;
+// Save takes ownership of an immutable snapshot.
+type Checkpoints interface {
+	Load(n uint64) (*Checkpoint, bool)
+	Save(n uint64, ck *Checkpoint)
+}
+
+// runSampled executes the sampled fast path. total is the number of
+// records the source will yield (>= one interval, checked by the caller).
+func runSampled(cfg config.Config, benchmark string, src Source, total int, ck Checkpoints) Result {
+	sch := cfg.Sampling
+	warmup, detail, interval := sch.Warmup, sch.Detail, sch.Interval
+	burst := warmup + detail
+	gap := interval - burst
+	nWin := total / interval
+
+	// Checkpoint indexes are absolute trace positions; a source that has
+	// already been partially consumed would alias them, so checkpointing is
+	// only engaged for sources starting at the beginning of the trace.
+	if ck != nil {
+		if sf, ok := src.(statefulSource); !ok || sf.CaptureState().Pos != 0 {
+			ck = nil
+		}
+	}
+
+	sys := core.NewSystem(cfg)
+	sys.SetWarming(true)
+
+	var (
+		instructions, loads, stores uint64
+		warmed                      uint64
+		skippedCycles, skipJumps    uint64
+		hits, saves                 int
+		epiSum                      energy.Breakdown
+		lastMeter                   *energy.Meter
+	)
+	cpiSamples := make([]float64, 0, nWin)
+	epiSamples := make([]float64, 0, nWin)
+	buf := make([]trace.Record, burst)
+
+	next := func() trace.Record {
+		rec, ok := src.Next()
+		if !ok {
+			panic(fmt.Sprintf("cpu: source ran dry mid-schedule after %d records (Remaining lied)", instructions))
+		}
+		instructions++
+		switch rec.Kind {
+		case trace.Load:
+			loads++
+		case trace.Store:
+			stores++
+		}
+		return rec
+	}
+	warm := func(rec trace.Record) {
+		warmed++
+		switch rec.Kind {
+		case trace.Load:
+			sys.WarmLoad(rec.Addr)
+		case trace.Store:
+			sys.WarmStore(rec.Addr)
+		}
+	}
+
+	for k := 0; k < nWin; k++ {
+		// Burst start, as an absolute record index: the checkpoint key.
+		burstStart := uint64(k)*uint64(interval) + uint64(gap)
+
+		// Reach the burst start: restore a warmed snapshot if one exists —
+		// jumping the source state over the gap when the snapshot carries
+		// it, else streaming the gap records to keep the generator and the
+		// instruction-mix counts exact — otherwise warm the gap and capture.
+		var st *core.SystemState
+		if ck != nil {
+			if got, ok := ck.Load(burstStart); ok && got.Sys != nil {
+				jumped := false
+				if got.Src != nil {
+					if sf, ok := src.(statefulSource); ok && sf.RestoreState(*got.Src) {
+						instructions = got.Instructions
+						loads = got.Loads
+						stores = got.Stores
+						jumped = true
+					}
+				}
+				if !jumped {
+					for i := 0; i < gap; i++ {
+						next()
+					}
+				}
+				sys.RestoreState(got.Sys)
+				st = got.Sys
+				hits++
+			}
+		}
+		if st == nil {
+			for i := 0; i < gap; i++ {
+				warm(next())
+			}
+			st = sys.CaptureState()
+			if ck != nil {
+				save := &Checkpoint{Sys: st, Instructions: instructions, Loads: loads, Stores: stores}
+				if sf, ok := src.(statefulSource); ok {
+					ss := sf.CaptureState()
+					save.Src = &ss
+				}
+				ck.Save(burstStart, save)
+				saves++
+			}
+		}
+
+		// The burst records feed both the primary (trajectory identical to
+		// an unmeasured run) and the shadow's replay buffer.
+		for i := 0; i < burst; i++ {
+			rec := next()
+			warm(rec)
+			buf[i] = rec
+		}
+
+		// Detailed measurement: throwaway machine, memory side restored to
+		// the burst-start state, warmup retires unmeasured, the detail
+		// portion is measured in cycles and dynamic energy.
+		shadow := core.New(cfg)
+		shadow.System().RestoreState(st)
+		m := newMachine(cfg, shadow, &SliceSource{Records: buf})
+		if warmup > 0 {
+			m.runTo(uint64(warmup))
+		}
+		c0 := m.cycle
+		dyn0 := shadow.Meter().DynamicEnergy()
+		m.runTo(uint64(burst))
+		dyn1 := shadow.Meter().DynamicEnergy()
+
+		cpiSamples = append(cpiSamples, float64(m.cycle-c0)/float64(detail))
+		var epi float64
+		for c := range dyn1 {
+			d := (dyn1[c] - dyn0[c]) / float64(detail)
+			epiSum.Dynamic[c] += d
+			epi += d
+		}
+		epiSamples = append(epiSamples, epi)
+		skippedCycles += m.skippedCycles
+		skipJumps += m.skipJumps
+		lastMeter = shadow.Meter()
+	}
+
+	// Tail past the last full interval: warmed so the final memory-side
+	// statistics cover the whole trace.
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		instructions++
+		switch rec.Kind {
+		case trace.Load:
+			loads++
+		case trace.Store:
+			stores++
+		}
+		warm(rec)
+	}
+
+	// Extrapolate: mean CPI and mean per-component EPI over the windows,
+	// scaled to the full instruction count. Leakage is priced off the
+	// estimated cycle count (it depends only on time and port config, not
+	// event counts), via the last shadow's meter.
+	nw := float64(nWin)
+	var cpiSum float64
+	for _, c := range cpiSamples {
+		cpiSum += c
+	}
+	cpiMean := cpiSum / nw
+	estCycles := uint64(cpiMean*float64(instructions) + 0.5)
+
+	var eb energy.Breakdown
+	var epiMean float64
+	for c := range epiSum.Dynamic {
+		mean := epiSum.Dynamic[c] / nw
+		eb.Dynamic[c] = mean * float64(instructions)
+		epiMean += mean
+	}
+	eb.Leakage = lastMeter.Finish(estCycles).Leakage
+
+	known, covTotal := sys.Det.Coverage()
+	tel := stats.NewCounters()
+	tel.Add(stats.CtrSkippedCycles, skippedCycles)
+	tel.Add(stats.CtrSkipJumps, skipJumps)
+	tel.Add(stats.CtrSampledWindows, uint64(nWin))
+	tel.Add(stats.CtrSampledWarmedRecords, warmed)
+	tel.Add(stats.CtrCheckpointRestores, uint64(hits))
+	tel.Add(stats.CtrCheckpointSaves, uint64(saves))
+
+	return Result{
+		Telemetry:     tel,
+		Config:        cfg.Name,
+		Benchmark:     benchmark,
+		Cycles:        estCycles,
+		Instructions:  instructions,
+		Loads:         loads,
+		Stores:        stores,
+		Energy:        eb,
+		L1:            sys.L1.Stats(),
+		L2:            sys.Back.L2.Stats(),
+		UTLB:          sys.Hier.U.Stats(),
+		TLB:           sys.Hier.Main.Stats(),
+		CoverageKnown: known,
+		CoverageTotal: covTotal,
+		Counters:      sys.Ctr,
+		Sampling: &SamplingEstimate{
+			Windows:            nWin,
+			Warmup:             warmup,
+			Detail:             detail,
+			Interval:           interval,
+			CPIMean:            cpiMean,
+			CPIRelHalfWidth:    RelHalfWidth95(cpiSamples),
+			EnergyMean:         epiMean,
+			EnergyRelHalfWidth: RelHalfWidth95(epiSamples),
+			CheckpointHits:     hits,
+			CheckpointMisses:   nWin - hits,
+			WarmedRecords:      warmed,
+		},
+	}
+}

@@ -455,6 +455,13 @@ func (m *Meter) dynamic() [numComponents]float64 {
 	return d
 }
 
+// DynamicEnergy prices the events accumulated so far into per-component
+// dynamic energies (picojoules) without finalizing the meter. The sampled
+// simulation path reads it at measurement-window boundaries and differences
+// two snapshots to get the window's dynamic energy; pricing is pure, so
+// the call does not perturb subsequent metering.
+func (m *Meter) DynamicEnergy() [numComponents]float64 { return m.dynamic() }
+
 // --- Results ---
 
 // Breakdown is the final energy report, in picojoules.

@@ -1,0 +1,202 @@
+package engine
+
+// Warmed-checkpoint store: microarchitectural snapshots captured by the
+// sampled simulator at measurement-window boundaries, content-addressed by
+// (memory-side config digest, benchmark, seed, record index). Because the
+// functional-warming trajectory depends only on the memory side of the
+// configuration and the workload, every core-side variant in a campaign
+// sweep maps to the same entries — the first config warms, the rest
+// restore. RunCampaign's benchmark-major job ordering clusters exactly
+// those reuses back to back.
+//
+// The store is two-level: a bounded in-memory FIFO of live snapshots (so
+// reuse works with no CacheDir configured, e.g. in tests and CI smokes),
+// plus optional JSON persistence under the engine's cache directory using
+// the same temp-file-and-rename discipline as the result store.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"malec/internal/cpu"
+)
+
+// DefaultCheckpointEntries bounds the in-memory checkpoint cache when
+// Options leaves it unset. A snapshot is a few hundred KB of slabs
+// (dominated by L1/L2 line arrays), so the default holds a campaign's
+// working set in tens of MB.
+const DefaultCheckpointEntries = 128
+
+// ckKey identifies one warmed snapshot.
+type ckKey struct {
+	MemDigest string `json:"memDigest"`
+	Benchmark string `json:"benchmark"`
+	Seed      uint64 `json:"seed"`
+	Index     uint64 `json:"index"` // absolute trace-record index
+}
+
+func (k ckKey) filename() string {
+	return fmt.Sprintf("%s_%s_%d_%d.json", k.MemDigest, k.Benchmark, k.Seed, k.Index)
+}
+
+// checkpointStore is the engine-level store; scoped views implementing
+// cpu.Checkpoints are curried per simulation. Safe for concurrent use.
+type checkpointStore struct {
+	dir        string // disk root ("" disables persistence)
+	maxEntries int
+
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+
+	mu      sync.Mutex
+	entries map[ckKey]*cpu.Checkpoint
+	order   []ckKey // insertion order, for FIFO eviction
+}
+
+func newCheckpointStore(dir string, maxEntries int) *checkpointStore {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCheckpointEntries
+	}
+	return &checkpointStore{
+		dir:        dir,
+		maxEntries: maxEntries,
+		entries:    make(map[ckKey]*cpu.Checkpoint),
+	}
+}
+
+// diskEntry mirrors the result store's versioned envelope so stale
+// generations read as misses.
+type ckDiskEntry struct {
+	Version int             `json:"version"`
+	Key     ckKey           `json:"key"`
+	State   *cpu.Checkpoint `json:"state"`
+}
+
+func (s *checkpointStore) diskPath(key ckKey) string {
+	shard := "00"
+	if len(key.MemDigest) >= 2 {
+		shard = key.MemDigest[:2]
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("v%d", DiskFormatVersion), "ckpt", shard, key.filename())
+}
+
+// load fetches a snapshot, promoting disk entries into memory. The
+// returned snapshot is shared and must not be mutated (cpu restores copy
+// out of it).
+func (s *checkpointStore) load(key ckKey) (*cpu.Checkpoint, bool) {
+	s.mu.Lock()
+	st, ok := s.entries[key]
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+		return st, true
+	}
+	if s.dir != "" {
+		if st, ok := s.loadDisk(key); ok {
+			s.mu.Lock()
+			s.put(key, st)
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return st, true
+		}
+	}
+	s.misses.Add(1)
+	return nil, false
+}
+
+func (s *checkpointStore) loadDisk(key ckKey) (*cpu.Checkpoint, bool) {
+	data, err := os.ReadFile(s.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var ent ckDiskEntry
+	if err := json.Unmarshal(data, &ent); err != nil ||
+		ent.Version != DiskFormatVersion || ent.Key != key || ent.State == nil || ent.State.Sys == nil {
+		return nil, false
+	}
+	s.bytesRead.Add(uint64(len(data)))
+	return ent.State, true
+}
+
+// save stores a snapshot in memory and, when configured, on disk.
+func (s *checkpointStore) save(key ckKey, st *cpu.Checkpoint) {
+	s.mu.Lock()
+	s.put(key, st)
+	s.mu.Unlock()
+	if s.dir == "" {
+		return
+	}
+	path := s.diskPath(key)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(ckDiskEntry{Version: DiskFormatVersion, Key: key, State: st})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, key.filename()+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	s.bytesWritten.Add(uint64(len(data)))
+}
+
+// put inserts under the FIFO bound. Caller holds s.mu.
+func (s *checkpointStore) put(key ckKey, st *cpu.Checkpoint) {
+	if _, ok := s.entries[key]; !ok {
+		s.order = append(s.order, key)
+	}
+	s.entries[key] = st
+	for len(s.entries) > s.maxEntries {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.entries, oldest)
+	}
+}
+
+// scoped returns the cpu.Checkpoints view for one simulation: the engine
+// curries everything but the record index.
+func (s *checkpointStore) scoped(memDigest, benchmark string, seed uint64) cpu.Checkpoints {
+	return &scopedCheckpoints{store: s, memDigest: memDigest, benchmark: benchmark, seed: seed}
+}
+
+type scopedCheckpoints struct {
+	store     *checkpointStore
+	memDigest string
+	benchmark string
+	seed      uint64
+}
+
+func (c *scopedCheckpoints) key(n uint64) ckKey {
+	return ckKey{MemDigest: c.memDigest, Benchmark: c.benchmark, Seed: c.seed, Index: n}
+}
+
+// Load implements cpu.Checkpoints.
+func (c *scopedCheckpoints) Load(n uint64) (*cpu.Checkpoint, bool) {
+	return c.store.load(c.key(n))
+}
+
+// Save implements cpu.Checkpoints.
+func (c *scopedCheckpoints) Save(n uint64, st *cpu.Checkpoint) {
+	c.store.save(c.key(n), st)
+}

@@ -52,6 +52,11 @@ type Options struct {
 	// means unbounded — appropriate for one-shot campaigns; long-lived
 	// processes should set a bound.
 	MaxCacheEntries int
+	// CheckpointEntries bounds the in-memory warmed-checkpoint cache (zero
+	// selects DefaultCheckpointEntries, negative disables checkpointing).
+	// Checkpoints persist to disk alongside results when CacheDir is set;
+	// they only apply to sampled simulations (Config.Sampling != nil).
+	CheckpointEntries int
 	// TraceCacheRecords bounds the engine's materialized-trace cache in
 	// total trace records (not bytes): the engine generates each
 	// (benchmark, seed) workload once per campaign and shares the flat
@@ -116,6 +121,17 @@ type Stats struct {
 	// Running is the number of simulations executing right now (bounded
 	// by Options.Workers).
 	Running int `json:"running"`
+	// CheckpointHits and CheckpointMisses count warmed-checkpoint lookups
+	// at sampled-simulation window boundaries: a hit restores warm
+	// memory-side state instead of re-warming the interval. Both stay zero
+	// when checkpointing is disabled or no sampled simulation has run.
+	CheckpointHits   uint64 `json:"checkpointHits"`
+	CheckpointMisses uint64 `json:"checkpointMisses"`
+	// CheckpointBytesRead and CheckpointBytesWritten count checkpoint disk
+	// traffic (zero when CacheDir is unset: the in-memory store has no
+	// serialization cost).
+	CheckpointBytesRead    uint64 `json:"checkpointBytesRead"`
+	CheckpointBytesWritten uint64 `json:"checkpointBytesWritten"`
 }
 
 // Lookups returns the total number of requests the engine has served.
@@ -135,8 +151,9 @@ type Engine struct {
 	simulate   SimulateFunc
 	cacheDir   string
 	maxEntries int
-	sem        chan struct{} // bounds concurrent simulations
-	traces     *trace.Cache  // shared materialized traces (nil: disabled)
+	sem        chan struct{}    // bounds concurrent simulations
+	traces     *trace.Cache     // shared materialized traces (nil: disabled)
+	ckpts      *checkpointStore // warmed checkpoints (nil: disabled)
 
 	// Scheduler gauges, updated outside e.mu: queued counts goroutines
 	// waiting for a worker slot, running counts simulations in flight.
@@ -164,6 +181,9 @@ func New(opts Options) *Engine {
 	}
 	e.simulate = opts.Simulate
 	if e.simulate == nil {
+		if opts.CheckpointEntries >= 0 {
+			e.ckpts = newCheckpointStore(opts.CacheDir, opts.CheckpointEntries)
+		}
 		bound := opts.TraceCacheRecords
 		if bound == 0 {
 			bound = DefaultTraceCacheRecords
@@ -172,13 +192,32 @@ func New(opts Options) *Engine {
 			e.traces = trace.NewCache(bound)
 			e.simulate = func(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result {
 				recs := e.traces.Records(benchmark, seed, instructions)
-				return cpu.Run(cfg, benchmark, &cpu.SliceSource{Records: recs})
+				return cpu.RunWithCheckpoints(cfg, benchmark,
+					&cpu.SliceSource{Records: recs}, e.checkpoints(cfg, benchmark, seed))
 			}
 		} else {
-			e.simulate = cpu.RunBenchmark
+			e.simulate = func(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result {
+				prof, ok := trace.Profiles[benchmark]
+				if !ok {
+					panic(fmt.Sprintf("engine: unknown benchmark %q", benchmark))
+				}
+				gen := trace.NewGenerator(prof, seed)
+				return cpu.RunWithCheckpoints(cfg, benchmark,
+					&cpu.GenSource{Gen: gen, N: instructions}, e.checkpoints(cfg, benchmark, seed))
+			}
 		}
 	}
 	return e
+}
+
+// checkpoints returns the warmed-checkpoint view for one simulation point,
+// scoped by memory-side digest so core-side config variants share entries.
+// Nil when checkpointing is disabled.
+func (e *Engine) checkpoints(cfg config.Config, benchmark string, seed uint64) cpu.Checkpoints {
+	if e.ckpts == nil {
+		return nil
+	}
+	return e.ckpts.scoped(MemSideDigest(cfg), benchmark, seed)
 }
 
 // store inserts a result into the in-memory cache, evicting the oldest
@@ -303,6 +342,12 @@ func (e *Engine) Stats() Stats {
 		s.TraceHits = ts.Hits
 		s.TraceMisses = ts.Misses
 		s.TraceRecords = ts.Records
+	}
+	if e.ckpts != nil {
+		s.CheckpointHits = e.ckpts.hits.Load()
+		s.CheckpointMisses = e.ckpts.misses.Load()
+		s.CheckpointBytesRead = e.ckpts.bytesRead.Load()
+		s.CheckpointBytesWritten = e.ckpts.bytesWritten.Load()
 	}
 	return s
 }

@@ -34,16 +34,23 @@ func KeyFor(cfg config.Config, benchmark string, instructions int, seed uint64) 
 	}
 }
 
-// ConfigDigest returns the content digest of a configuration: SHA-256 over
-// its canonical JSON encoding, truncated to 16 hex characters. Every field
-// of config.Config is exported, so the JSON encoding covers the complete
-// machine description in fixed struct order. Host-simulator toggles that
-// never change simulated results are normalized out first, so e.g. skip-on
-// and skip-off runs of the same machine share one cache entry.
+// ConfigDigest returns the content digest of a configuration as 16 hex
+// characters: the memory-side half (MemSideDigest) followed by a digest of
+// the complete configuration. Every field of config.Config is exported, so
+// the JSON encoding covers the complete machine description in fixed
+// struct order. Host-simulator toggles that never change simulated results
+// are normalized out first, so e.g. skip-on and skip-off runs of the same
+// machine share one cache entry.
+//
+// The split layout makes the memory-side identity visible in the key: two
+// configurations that differ only core-side (widths, latencies, buffer
+// depths, sampling schedule) share their first 8 characters — and with
+// them the warmed-checkpoint store, which is keyed by MemSideDigest alone.
 func ConfigDigest(cfg config.Config) string {
 	// Cycle skipping, the wakeup scheduler and the memory-side indexes are
 	// semantically invisible (differentially tested); they must not split
-	// the content address.
+	// the content address. Sampling is NOT normalized out: sampled results
+	// are estimates, never interchangeable with exact ones.
 	cfg.DisableCycleSkip = false
 	cfg.DisableWakeup = false
 	cfg.DisableMemIndex = false
@@ -54,7 +61,52 @@ func ConfigDigest(cfg config.Config) string {
 		panic("engine: config not serializable: " + err.Error())
 	}
 	sum := sha256.Sum256(enc)
-	return hex.EncodeToString(sum[:8])
+	return MemSideDigest(cfg) + hex.EncodeToString(sum[:4])
+}
+
+// memSideIdentity is the subset of config.Config that determines the
+// functional-warming trajectory and therefore the contents of a warmed
+// checkpoint: the structures a snapshot covers (caches, TLBs, page table,
+// way tables, stream detector) and the RNG seed driving their replacement
+// policies. Core-side parameters — pipeline widths, latencies, buffer
+// depths, energy ports, the sampling schedule itself — are excluded, which
+// is what lets a core-side parameter sweep warm up once.
+type memSideIdentity struct {
+	Seed           uint64
+	TLBEntries     int
+	UTLBEntries    int
+	WayDet         config.WayDetKind
+	WDUEntries     int
+	WDUPorts       int
+	ConstrainWays  bool
+	FeedbackUpdate bool
+	WTChunkLines   int
+	WTPoolFraction float64
+	Bypass         bool
+}
+
+// MemSideDigest returns the 8-hex-character digest of a configuration's
+// memory-side identity.
+func MemSideDigest(cfg config.Config) string {
+	id := memSideIdentity{
+		Seed:           cfg.Seed,
+		TLBEntries:     cfg.TLBEntries,
+		UTLBEntries:    cfg.UTLBEntries,
+		WayDet:         cfg.WayDet,
+		WDUEntries:     cfg.WDUEntries,
+		WDUPorts:       cfg.WDUPorts,
+		ConstrainWays:  cfg.ConstrainWays,
+		FeedbackUpdate: cfg.FeedbackUpdate,
+		WTChunkLines:   cfg.WTChunkLines,
+		WTPoolFraction: cfg.WTPoolFraction,
+		Bypass:         cfg.Bypass,
+	}
+	enc, err := json.Marshal(id)
+	if err != nil {
+		panic("engine: mem-side identity not serializable: " + err.Error())
+	}
+	sum := sha256.Sum256(enc)
+	return hex.EncodeToString(sum[:4])
 }
 
 // String renders the key in digest:benchmark:instructions:seed form.

@@ -45,6 +45,18 @@ func NewSlotIndex(slots int) *SlotIndex {
 	return ix
 }
 
+// Reset empties every bucket chain, returning the index to its
+// just-constructed state. Checkpoint restores use it to rebuild an index
+// from restored slot contents instead of replaying the eviction history.
+func (ix *SlotIndex) Reset() {
+	for i := range ix.heads {
+		ix.heads[i] = -1
+	}
+	for i := range ix.next {
+		ix.next[i] = -1
+	}
+}
+
 // bucket spreads keys over the bucket array (Fibonacci multiplicative
 // hashing on the high bits; page IDs and line IDs are often sequential,
 // which this breaks up).

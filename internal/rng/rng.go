@@ -93,3 +93,11 @@ func (s *Source) Pick(weights []float64) int {
 func (s *Source) Split() *Source {
 	return New(s.Uint64() ^ 0xd1b54a32d192ed03)
 }
+
+// State returns the generator's internal state so a checkpoint can resume
+// the stream exactly where it left off.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState restores state previously obtained from State. The next Uint64
+// continues the original stream bit-identically.
+func (s *Source) SetState(state uint64) { s.state = state }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"malec/internal/config"
+	"malec/internal/cpu"
 	"malec/internal/engine"
 	"malec/internal/metrics"
 	"malec/internal/trace"
@@ -170,14 +171,31 @@ type runRequest struct {
 	Benchmark    string  `json:"benchmark"`
 	Instructions int     `json:"instructions"`
 	Seed         *uint64 `json:"seed"`
+	// Sampling, when present, switches the run to the sampled fast path
+	// (SMARTS-style interval sampling; see README "Sampled simulation").
+	// The result becomes an estimate — sampled and exact runs cache under
+	// different keys — and the estimate metadata (window count, 95%
+	// confidence intervals, checkpoint reuse) comes back in the
+	// response's "sampling" field.
+	Sampling *config.Sampling `json:"sampling"`
 }
 
 // runResponse is the POST /v1/run reply.
 type runResponse struct {
-	Key    engine.Key    `json:"key"`
-	Source engine.Source `json:"source"`
-	Cached bool          `json:"cached"`
-	Result any           `json:"result"`
+	Key      engine.Key            `json:"key"`
+	Source   engine.Source         `json:"source"`
+	Cached   bool                  `json:"cached"`
+	Result   any                   `json:"result"`
+	Sampling *cpu.SamplingEstimate `json:"sampling,omitempty"`
+}
+
+// validSampling checks a request's sampling schedule.
+func validSampling(s *config.Sampling) error {
+	if s != nil && !s.Valid() {
+		return fmt.Errorf("invalid sampling schedule (warmup=%d detail=%d interval=%d): need warmup >= 0, detail > 0, warmup+detail <= interval",
+			s.Warmup, s.Detail, s.Interval)
+	}
+	return nil
 }
 
 // resolveRun validates a runRequest against the registry and limits and
@@ -196,6 +214,10 @@ func (s *Server) resolveRun(req *runRequest) (config.Config, uint64, error) {
 	if req.Instructions > s.opts.MaxInstructions {
 		return config.Config{}, 0, fmt.Errorf("instructions %d exceeds limit %d", req.Instructions, s.opts.MaxInstructions)
 	}
+	if err := validSampling(req.Sampling); err != nil {
+		return config.Config{}, 0, err
+	}
+	cfg.Sampling = req.Sampling
 	seed := uint64(1)
 	if req.Seed != nil {
 		seed = *req.Seed
@@ -217,10 +239,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	bench := req.Benchmark
 	res, src := s.eng.RunTracked(cfg, bench, req.Instructions, seed)
 	writeJSON(w, http.StatusOK, runResponse{
-		Key:    engine.KeyFor(cfg, bench, req.Instructions, seed),
-		Source: src,
-		Cached: src != engine.SourceSimulated,
-		Result: res,
+		Key:      engine.KeyFor(cfg, bench, req.Instructions, seed),
+		Source:   src,
+		Cached:   src != engine.SourceSimulated,
+		Result:   res,
+		Sampling: res.Sampling,
 	})
 }
 
@@ -232,6 +255,11 @@ type sweepRequest struct {
 	Seeds        []uint64 `json:"seeds"`
 	// Format selects the response encoding: "json" (default) or "csv".
 	Format string `json:"format"`
+	// Sampling, when present, runs every point of the sweep on the
+	// sampled fast path — the quality tier for large grids: core-side
+	// config variants share warmed checkpoints, so only the first config
+	// per (benchmark, seed) pays the functional-warming pass.
+	Sampling *config.Sampling `json:"sampling"`
 }
 
 // handleSweep implements POST /v1/sweep.
@@ -244,6 +272,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "configs is required (see /v1/configs)")
 		return
 	}
+	if err := validSampling(req.Sampling); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	cfgs := make([]config.Config, 0, len(req.Configs))
 	for _, name := range req.Configs {
 		cfg, ok := config.Named(name)
@@ -251,6 +283,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "unknown config %q (see /v1/configs)", name)
 			return
 		}
+		cfg.Sampling = req.Sampling
 		cfgs = append(cfgs, cfg)
 	}
 	// Unknown benchmarks are rejected by CampaignSpec.normalize below —

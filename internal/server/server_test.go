@@ -466,3 +466,121 @@ func TestStatsShapeRegression(t *testing.T) {
 		t.Errorf("serving.endpoints missing /v1/stats")
 	}
 }
+
+// TestCheckpointStatsShapeRegression pins the checkpoint-observability
+// contract introduced with sampled simulation: the warmed-checkpoint
+// counters appear at the top level of /v1/stats and as counter families
+// in the /metrics exposition.
+func TestCheckpointStatsShapeRegression(t *testing.T) {
+	sim := func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		return cpu.Result{Config: cfg.Name, Benchmark: b, Cycles: 1}
+	}
+	ts, _ := newTestServer(t, sim, Options{})
+
+	var raw map[string]json.RawMessage
+	get(t, ts.URL+"/v1/stats", &raw)
+	for _, field := range []string{
+		"checkpointHits", "checkpointMisses",
+		"checkpointBytesRead", "checkpointBytesWritten",
+	} {
+		if _, ok := raw[field]; !ok {
+			t.Errorf("/v1/stats missing top-level field %q", field)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE malec_engine_checkpoint_hits_total counter",
+		"malec_engine_checkpoint_hits_total 0",
+		"malec_engine_checkpoint_misses_total 0",
+		"malec_engine_checkpoint_bytes_read_total 0",
+		"malec_engine_checkpoint_bytes_written_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", text)
+	}
+}
+
+// TestRunSamplingTier drives the sampled quality tier end to end through
+// the HTTP API: a /v1/run with a sampling schedule must run the real
+// sampled simulator, return the estimate metadata, cache under a key
+// distinct from the exact run, and reject malformed schedules.
+func TestRunSamplingTier(t *testing.T) {
+	t.Setenv("MALEC_NO_SAMPLING", "")
+	ts, _ := newTestServer(t, nil, Options{})
+
+	exactBody := `{"config": "MALEC", "benchmark": "gzip", "instructions": 40000, "seed": 2}`
+	sampledBody := `{"config": "MALEC", "benchmark": "gzip", "instructions": 40000, "seed": 2,
+		"sampling": {"Warmup": 200, "Detail": 800, "Interval": 20000}}`
+
+	var exact, sampled struct {
+		Key      engine.Key            `json:"key"`
+		Sampling *cpu.SamplingEstimate `json:"sampling"`
+	}
+	resp, body := post(t, ts.URL+"/v1/run", exactBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact run: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Sampling != nil {
+		t.Fatalf("exact run returned a sampling estimate: %+v", exact.Sampling)
+	}
+
+	resp, body = post(t, ts.URL+"/v1/run", sampledBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled run: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sampled); err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Sampling == nil {
+		t.Fatalf("sampled run returned no estimate: %s", body)
+	}
+	if sampled.Sampling.Windows != 2 {
+		t.Errorf("estimate windows = %d, want 2", sampled.Sampling.Windows)
+	}
+	if sampled.Key == exact.Key {
+		t.Error("sampled and exact runs share a cache key")
+	}
+
+	resp, body = post(t, ts.URL+"/v1/run",
+		`{"config": "MALEC", "benchmark": "gzip", "instructions": 40000,
+		  "sampling": {"Warmup": 900, "Detail": 200, "Interval": 1000}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid schedule: status %d, want 400: %s", resp.StatusCode, body)
+	}
+
+	// The sweep tier applies the schedule to every config; two core-side
+	// variants would share warmed checkpoints here, which the engine
+	// tests cover — this checks the plumbing end to end.
+	resp, body = post(t, ts.URL+"/v1/sweep",
+		`{"configs": ["MALEC"], "benchmarks": ["gzip"], "instructions": 40000, "seeds": [2],
+		  "sampling": {"Warmup": 200, "Detail": 800, "Interval": 20000}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled sweep: status %d: %s", resp.StatusCode, body)
+	}
+	var sweep struct {
+		Jobs int `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Jobs != 1 {
+		t.Fatalf("sampled sweep ran %d jobs, want 1", sweep.Jobs)
+	}
+}

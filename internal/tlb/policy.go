@@ -13,6 +13,12 @@ type Policy interface {
 	Touch(i int)
 	// Victim returns the entry index to evict next.
 	Victim() int
+	// State serializes the policy's replacement metadata (reference bits,
+	// LRU stamps, rotation hands, rng state) for checkpointing.
+	State() []uint64
+	// SetState restores metadata previously obtained from State, so the
+	// victim stream continues bit-identically.
+	SetState(st []uint64)
 }
 
 // NewPolicy constructs a policy by name: "random", "second-chance", "lru"
@@ -42,6 +48,10 @@ func (p *randomPolicy) Touch(int) {}
 
 func (p *randomPolicy) Victim() int { return p.rnd.Intn(p.size) }
 
+func (p *randomPolicy) State() []uint64 { return []uint64{p.rnd.State()} }
+
+func (p *randomPolicy) SetState(st []uint64) { p.rnd.SetState(st[0]) }
+
 // secondChance is the classic clock algorithm (the paper's uTLB policy,
 // chosen to reduce uWT->WT synchronization transfers).
 type secondChance struct {
@@ -64,6 +74,24 @@ func (p *secondChance) Victim() int {
 		}
 		p.ref[p.hand] = false
 		p.hand = (p.hand + 1) % len(p.ref)
+	}
+}
+
+func (p *secondChance) State() []uint64 {
+	st := make([]uint64, 1+len(p.ref))
+	st[0] = uint64(p.hand)
+	for i, r := range p.ref {
+		if r {
+			st[1+i] = 1
+		}
+	}
+	return st
+}
+
+func (p *secondChance) SetState(st []uint64) {
+	p.hand = int(st[0])
+	for i := range p.ref {
+		p.ref[i] = st[1+i] != 0
 	}
 }
 
@@ -90,6 +118,18 @@ func (p *lruPolicy) Victim() int {
 	return best
 }
 
+func (p *lruPolicy) State() []uint64 {
+	st := make([]uint64, 1+len(p.stamp))
+	st[0] = p.clock
+	copy(st[1:], p.stamp)
+	return st
+}
+
+func (p *lruPolicy) SetState(st []uint64) {
+	p.clock = st[0]
+	copy(p.stamp, st[1:])
+}
+
 // fifoPolicy evicts entries in insertion rotation order.
 type fifoPolicy struct {
 	size int
@@ -103,3 +143,7 @@ func (p *fifoPolicy) Victim() int {
 	p.next = (p.next + 1) % p.size
 	return v
 }
+
+func (p *fifoPolicy) State() []uint64 { return []uint64{uint64(p.next)} }
+
+func (p *fifoPolicy) SetState(st []uint64) { p.next = int(st[0]) }

@@ -1,0 +1,104 @@
+package tlb
+
+// This file is the translation side of the microarchitectural checkpoint
+// layer: exported, JSON-able snapshots of a TLB array (entries, statistics
+// and replacement-policy metadata) and of the page table. Restores rebuild
+// the derived lookup structures (chain indexes, free mask, live count,
+// used-frame set) from the restored contents and never fire the
+// OnInsert/OnEvict hooks — a restore transplants state, it does not replay
+// the insertion history, and chain-order differences are invisible because
+// lookups resolve duplicates to the lowest index.
+
+import (
+	"sort"
+
+	"malec/internal/mem"
+)
+
+// TLBState is a complete snapshot of one TLB's mutable state.
+type TLBState struct {
+	Entries []Entry
+	Stats   Stats
+	// Policy is the replacement policy's serialized metadata (Policy.State).
+	Policy []uint64
+}
+
+// CaptureState snapshots the TLB. The receiver is unmodified.
+func (t *TLB) CaptureState() TLBState {
+	st := TLBState{
+		Entries: make([]Entry, len(t.entries)),
+		Stats:   t.stats,
+		Policy:  t.pol.State(),
+	}
+	copy(st.Entries, t.entries)
+	return st
+}
+
+// RestoreState replaces the TLB's state with a snapshot from a same-size
+// TLB, rebuilding the chain indexes, free mask and live count from the
+// restored entries. No OnInsert/OnEvict hooks fire.
+func (t *TLB) RestoreState(st TLBState) {
+	copy(t.entries, st.Entries)
+	t.stats = st.Stats
+	t.pol.SetState(st.Policy)
+	t.vIdx.Reset()
+	t.pIdx.Reset()
+	for i := range t.freeMask {
+		t.freeMask[i] = 0
+	}
+	t.live = 0
+	for i := range t.entries {
+		if t.entries[i].Valid {
+			t.vIdx.Add(uint32(t.entries[i].VPage), int32(i))
+			t.pIdx.Add(uint32(t.entries[i].PPage), int32(i))
+			t.live++
+		} else {
+			t.freeMask[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+// PageTableMapping is one established virtual->physical page mapping.
+type PageTableMapping struct {
+	V mem.PageID
+	P mem.PageID
+}
+
+// PageTableState is a complete snapshot of a page table: every mapping in
+// virtual-page order (deterministic bytes regardless of the hash table's
+// internal layout) plus the next-frame counter.
+type PageTableState struct {
+	Mappings []PageTableMapping
+	Next     uint32
+}
+
+// CaptureState snapshots the page table.
+func (pt *PageTable) CaptureState() PageTableState {
+	st := PageTableState{
+		Mappings: make([]PageTableMapping, 0, pt.fwd.n),
+		Next:     pt.next,
+	}
+	for i := range pt.fwd.slots {
+		if e := &pt.fwd.slots[i]; e.used {
+			st.Mappings = append(st.Mappings, PageTableMapping{V: e.key, P: e.val})
+		}
+	}
+	sort.Slice(st.Mappings, func(i, j int) bool {
+		return st.Mappings[i].V < st.Mappings[j].V
+	})
+	return st
+}
+
+// RestoreState rebuilds the page table from a snapshot. Replaying the
+// mappings through the storage layer reproduces a semantically identical
+// table (Translate answers and future first-touch allocations are
+// bit-identical) independent of the original hash layout.
+func (pt *PageTable) RestoreState(st PageTableState) {
+	pt.fwd.init(ptInitialSlots)
+	pt.used = mem.NewPageSet(ptInitialSlots)
+	for _, m := range st.Mappings {
+		pt.fwd.put(m.V, m.P)
+		pt.used.Add(m.P)
+	}
+	pt.next = st.Next
+}

@@ -1,0 +1,234 @@
+package waytable
+
+// This file is the way-determination side of the microarchitectural
+// checkpoint layer: exported, JSON-able snapshots of the full Table, the
+// SegmentedTable, the WDU and the PageSystem's coverage counters. The two
+// table kinds snapshot into a small tagged union (StoreState) so a
+// checkpoint is self-describing; restores rebuild the page chain indexes
+// and free bitmaps from the restored contents without replaying history.
+
+import "malec/internal/mem"
+
+// TableState is a complete snapshot of a full way table. Line codes are
+// flattened mem.LinesPerPage per slot.
+type TableState struct {
+	Codes []uint8
+	Pages []mem.PageID
+	Valid []bool
+	Stats TableStats
+}
+
+// CaptureState snapshots the table. The receiver is unmodified.
+func (t *Table) CaptureState() TableState {
+	st := TableState{
+		Codes: make([]uint8, len(t.entries)*mem.LinesPerPage),
+		Pages: make([]mem.PageID, len(t.pages)),
+		Valid: make([]bool, len(t.valid)),
+		Stats: t.stats,
+	}
+	for i := range t.entries {
+		copy(st.Codes[i*mem.LinesPerPage:], t.entries[i].codes[:])
+	}
+	copy(st.Pages, t.pages)
+	copy(st.Valid, t.valid)
+	return st
+}
+
+// RestoreState replaces the table's state with a same-size snapshot,
+// rebuilding the page chain index from the restored slots.
+func (t *Table) RestoreState(st TableState) {
+	for i := range t.entries {
+		copy(t.entries[i].codes[:], st.Codes[i*mem.LinesPerPage:(i+1)*mem.LinesPerPage])
+	}
+	copy(t.pages, st.Pages)
+	copy(t.valid, st.Valid)
+	t.stats = st.Stats
+	t.idx.Reset()
+	for i := range t.valid {
+		if t.valid[i] {
+			t.idx.Add(uint32(t.pages[i]), int32(i))
+		}
+	}
+}
+
+// SegSlotState is the exported form of one segmented-table slot.
+type SegSlotState struct {
+	Page  mem.PageID
+	Valid bool
+}
+
+// SegmentedState is a complete snapshot of a segmented way table.
+type SegmentedState struct {
+	Slots     []SegSlotState
+	PoolOwner []int32 // owning slot per pool chunk, -1 when free
+	PoolPart  []uint32
+	Codes     []uint8
+	ChunkOf   []int32
+	Fifo      int
+	Stats     TableStats
+}
+
+// CaptureState snapshots the segmented table.
+func (t *SegmentedTable) CaptureState() SegmentedState {
+	st := SegmentedState{
+		Slots:     make([]SegSlotState, len(t.slots)),
+		PoolOwner: make([]int32, len(t.pool)),
+		PoolPart:  make([]uint32, len(t.pool)),
+		Codes:     make([]uint8, len(t.codes)),
+		ChunkOf:   make([]int32, len(t.chunkOf)),
+		Fifo:      t.fifo,
+		Stats:     t.stats,
+	}
+	for i, s := range t.slots {
+		st.Slots[i] = SegSlotState{Page: s.page, Valid: s.valid}
+	}
+	for i, c := range t.pool {
+		st.PoolOwner[i] = c.owner
+		st.PoolPart[i] = c.part
+	}
+	copy(st.Codes, t.codes)
+	copy(st.ChunkOf, t.chunkOf)
+	return st
+}
+
+// RestoreState replaces the segmented table's state with a same-geometry
+// snapshot, rebuilding the free bitmap and page chain index.
+func (t *SegmentedTable) RestoreState(st SegmentedState) {
+	for i, s := range st.Slots {
+		t.slots[i] = segSlot{page: s.Page, valid: s.Valid}
+	}
+	t.freeCount = 0
+	for i := range t.freeMask {
+		t.freeMask[i] = 0
+	}
+	for i := range t.pool {
+		t.pool[i] = segChunk{owner: st.PoolOwner[i], part: st.PoolPart[i]}
+		if st.PoolOwner[i] < 0 {
+			t.freeMask[i>>6] |= 1 << uint(i&63)
+			t.freeCount++
+		}
+	}
+	copy(t.codes, st.Codes)
+	copy(t.chunkOf, st.ChunkOf)
+	t.fifo = st.Fifo
+	t.stats = st.Stats
+	t.idx.Reset()
+	for i := range t.slots {
+		if t.slots[i].valid {
+			t.idx.Add(uint32(t.slots[i].page), int32(i))
+		}
+	}
+}
+
+// StoreState is the tagged union over the two way-store snapshot kinds,
+// making checkpoints self-describing.
+type StoreState struct {
+	Table     *TableState     `json:",omitempty"`
+	Segmented *SegmentedState `json:",omitempty"`
+}
+
+// CaptureStore snapshots any Store implementation.
+func CaptureStore(s Store) StoreState {
+	switch t := s.(type) {
+	case *Table:
+		st := t.CaptureState()
+		return StoreState{Table: &st}
+	case *SegmentedTable:
+		st := t.CaptureState()
+		return StoreState{Segmented: &st}
+	default:
+		panic("waytable: unknown Store kind in CaptureStore")
+	}
+}
+
+// RestoreStore restores any Store implementation from its snapshot. The
+// snapshot kind must match the store kind (same configuration).
+func RestoreStore(s Store, st StoreState) {
+	switch t := s.(type) {
+	case *Table:
+		t.RestoreState(*st.Table)
+	case *SegmentedTable:
+		t.RestoreState(*st.Segmented)
+	default:
+		panic("waytable: unknown Store kind in RestoreStore")
+	}
+}
+
+// WDUState is a complete snapshot of a WDU.
+type WDUState struct {
+	Lines  []mem.Addr
+	Ways   []int8
+	Valid  []bool
+	Stamps []uint64
+	Clock  uint64
+	Stats  WDUStats
+	Known  uint64
+	Total  uint64
+}
+
+// CaptureState snapshots the WDU.
+func (w *WDU) CaptureState() WDUState {
+	st := WDUState{
+		Lines:  make([]mem.Addr, len(w.entries)),
+		Ways:   make([]int8, len(w.entries)),
+		Valid:  make([]bool, len(w.entries)),
+		Stamps: make([]uint64, len(w.entries)),
+		Clock:  w.clock,
+		Stats:  w.stats,
+		Known:  w.known,
+		Total:  w.total,
+	}
+	for i, e := range w.entries {
+		st.Lines[i] = e.line
+		st.Ways[i] = e.way
+		st.Valid[i] = e.valid
+		st.Stamps[i] = e.stamp
+	}
+	return st
+}
+
+// RestoreState replaces the WDU's state with a same-size snapshot.
+func (w *WDU) RestoreState(st WDUState) {
+	for i := range w.entries {
+		w.entries[i] = wduEntry{
+			line:  st.Lines[i],
+			way:   st.Ways[i],
+			valid: st.Valid[i],
+			stamp: st.Stamps[i],
+		}
+	}
+	w.clock = st.Clock
+	w.stats = st.Stats
+	w.known = st.Known
+	w.total = st.Total
+}
+
+// PageSystemState is a complete snapshot of a PageSystem: both way stores
+// plus the coverage and feedback counters.
+type PageSystemState struct {
+	UWT   StoreState
+	WT    StoreState
+	Known uint64
+	Total uint64
+	Fed   uint64
+}
+
+// CaptureState snapshots the page system.
+func (s *PageSystem) CaptureState() PageSystemState {
+	return PageSystemState{
+		UWT:   CaptureStore(s.UWT),
+		WT:    CaptureStore(s.WT),
+		Known: s.known,
+		Total: s.total,
+		Fed:   s.fed,
+	}
+}
+
+// RestoreState restores the page system from a same-configuration snapshot.
+func (s *PageSystem) RestoreState(st PageSystemState) {
+	RestoreStore(s.UWT, st.UWT)
+	RestoreStore(s.WT, st.WT)
+	s.known = st.Known
+	s.total = st.Total
+	s.fed = st.Fed
+}

@@ -109,6 +109,12 @@ const (
 	// cycle-skipping fast-forward activity (see README "Cycle skipping").
 	CtrSkippedCycles = stats.CtrSkippedCycles // sim.skipped_cycles
 	CtrSkipJumps     = stats.CtrSkipJumps     // sim.skip_jumps
+
+	// Sampled-simulation telemetry (see README "Sampled simulation").
+	CtrSampledWindows       = stats.CtrSampledWindows       // sim.sampled_windows
+	CtrSampledWarmedRecords = stats.CtrSampledWarmedRecords // sim.sampled_warmed_records
+	CtrCheckpointRestores   = stats.CtrCheckpointRestores   // sim.checkpoint_restores
+	CtrCheckpointSaves      = stats.CtrCheckpointSaves      // sim.checkpoint_saves
 )
 
 // CounterByName resolves a canonical counter name (e.g. "l1.fills") to its
@@ -140,6 +146,21 @@ type Profile = trace.Profile
 // Options scales the experiment drivers (instructions per benchmark, seed,
 // benchmark subset, parallelism).
 type Options = experiments.Options
+
+// Sampling is the (warmup, detail, interval) schedule of the SMARTS-style
+// sampled fast path; assign one to Config.Sampling to switch a run from
+// exact cycle-accurate simulation to interval sampling with extrapolated
+// cycles/energy and confidence intervals (Result.Sampling). Setting
+// MALEC_NO_SAMPLING=1 forces the exact path regardless.
+type Sampling = config.Sampling
+
+// SamplingEstimate reports a sampled run's schedule, per-metric 95%
+// confidence intervals and checkpoint reuse, via Result.Sampling.
+type SamplingEstimate = cpu.SamplingEstimate
+
+// DefaultSampling returns the default sampled-run schedule (2k warmup + 8k
+// detail per 1M-instruction interval, i.e. 1% detail).
+func DefaultSampling() *Sampling { return config.DefaultSampling() }
 
 // Configuration presets (paper Tab. I and Sec. VI variants).
 var (
