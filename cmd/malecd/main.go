@@ -39,21 +39,28 @@ import (
 	"time"
 
 	"malec/internal/engine"
+	"malec/internal/faultinject"
 	"malec/internal/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "max concurrent simulations (default GOMAXPROCS)")
-		cacheDir = flag.String("cache-dir", "", "persist results in this directory across restarts")
-		maxInstr = flag.Int("max-instructions", 5_000_000, "per-request instruction limit")
-		maxJobs  = flag.Int("max-sweep-jobs", 4096, "per-sweep expanded job limit")
-		maxCache = flag.Int("max-cache-entries", 1<<14, "in-memory result cache bound (oldest evicted; 0 = unbounded)")
-		traceRec = flag.Int("trace-cache", 0, "materialized-trace cache bound in records shared across configs (0 = default, negative = regenerate traces per simulation)")
-		ckptEnt  = flag.Int("checkpoint-entries", 0, "in-memory warmed-checkpoint cache bound for sampled simulations (0 = default, negative = disable checkpointing)")
-		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the same listener")
-		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests on SIGINT/SIGTERM")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (default GOMAXPROCS)")
+		cacheDir   = flag.String("cache-dir", "", "persist results in this directory across restarts")
+		maxInstr   = flag.Int("max-instructions", 5_000_000, "per-request instruction limit")
+		maxJobs    = flag.Int("max-sweep-jobs", 4096, "per-sweep expanded job limit")
+		maxCache   = flag.Int("max-cache-entries", 1<<14, "in-memory result cache bound (oldest evicted; 0 = unbounded)")
+		traceRec   = flag.Int("trace-cache", 0, "materialized-trace cache bound in records shared across configs (0 = default, negative = regenerate traces per simulation)")
+		ckptEnt    = flag.Int("checkpoint-entries", 0, "in-memory warmed-checkpoint cache bound for sampled simulations (0 = default, negative = disable checkpointing)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the same listener")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain window for in-flight requests on SIGINT/SIGTERM")
+		drainGrace = flag.Duration("drain-grace", 0, "pause between failing /readyz and closing the listener, so load balancers stop routing first")
+		reqTimeout = flag.Duration("request-timeout", 5*time.Minute, "per-request processing deadline for /v1/run and /v1/sweep (0 = unbounded; deadline_ms can only tighten it)")
+		maxConc    = flag.Int("max-concurrent", 0, "simulation-bearing requests admitted at once (0 = 2x workers, negative = unbounded)")
+		maxQueue   = flag.Int("max-queue", 256, "admission queue depth beyond -max-concurrent; excess shed with 429 + Retry-After")
+		queueWait  = flag.Duration("queue-wait", 5*time.Second, "max time a request may wait in the admission queue before being shed")
+		perClient  = flag.Int("per-client", 32, "concurrent simulation-bearing requests per client (X-API-Key or remote address; 0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -64,10 +71,28 @@ func main() {
 		TraceCacheRecords: *traceRec,
 		CheckpointEntries: *ckptEnt,
 	})
+	// Admission defaults scale with simulation capacity: admit up to twice
+	// the worker count (the extra headroom keeps workers fed through cache
+	// hits), queue a bounded burst beyond that, shed the rest.
+	concurrent := *maxConc
+	switch {
+	case concurrent == 0:
+		concurrent = 2 * eng.Workers()
+	case concurrent < 0:
+		concurrent = 0
+	}
 	api := server.New(eng, server.Options{
-		MaxInstructions: *maxInstr,
-		MaxSweepJobs:    *maxJobs,
+		MaxInstructions:      *maxInstr,
+		MaxSweepJobs:         *maxJobs,
+		RequestTimeout:       *reqTimeout,
+		MaxConcurrent:        concurrent,
+		MaxQueueDepth:        *maxQueue,
+		MaxQueueWait:         *queueWait,
+		PerClientConcurrency: *perClient,
 	})
+	if fp := faultinject.Active(); len(fp) > 0 {
+		log.Printf("malecd FAULT INJECTION ARMED: %v", fp)
+	}
 
 	var handler http.Handler = api
 	if *pprofOn {
@@ -111,6 +136,14 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	// Drain sequence: fail /readyz (and start shedding new simulation
+	// requests with 503) first, give load balancers -drain-grace to notice,
+	// then close the listener and wait out in-flight handlers.
+	api.StartDraining()
+	if *drainGrace > 0 {
+		log.Printf("malecd drain grace %v (readyz failing)", *drainGrace)
+		time.Sleep(*drainGrace)
+	}
 	log.Printf("malecd draining (timeout %v)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"sort"
@@ -80,6 +81,37 @@ type generator struct {
 	seedBase     uint64        // per-invocation offset for run seeds
 	instructions int
 	inflight     chan struct{} // bounds concurrent requests
+	// retries is how many times one request may be re-sent after a shed
+	// (429/503) response, with exponential backoff honoring Retry-After.
+	// 0 (the default) keeps the generator strictly open-loop: a shed is a
+	// shed, counted and done.
+	retries int
+}
+
+// backoffCap bounds one retry sleep, whatever Retry-After claims, so a
+// drain hint cannot stall a load slot for its full duration.
+const backoffCap = 5 * time.Second
+
+// backoff computes the sleep before retry number attempt (0-based): the
+// server's Retry-After when it sent one, else 100ms doubling per attempt,
+// both with up to 50% added jitter so synchronized clients decorrelate.
+func backoff(attempt int, retryAfter string) time.Duration {
+	d := 100 * time.Millisecond << attempt
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	return d + rand.N(d/2+1)
+}
+
+// outcome is one offered request's fate, retries included.
+type outcome struct {
+	lat     time.Duration
+	ok      bool
+	shed    int // 429/503 responses seen (including ones retried away)
+	retries int // retry attempts consumed
 }
 
 // pick returns the next request kind in the weighted rotation. The
@@ -111,17 +143,39 @@ func (g *generator) body(kind reqKind) (path, payload string) {
 	}
 }
 
-// do performs one request, returning its latency and success.
-func (g *generator) do(kind reqKind) (time.Duration, bool) {
+// do performs one request (plus up to g.retries backed-off retries after
+// shed responses), returning its outcome. Latency covers the whole
+// attempt chain — what the caller actually waited.
+func (g *generator) do(kind reqKind) outcome {
 	path, payload := g.body(kind)
 	t0 := time.Now()
-	resp, err := g.client.Post(g.base+path, "application/json", strings.NewReader(payload))
-	if err != nil {
-		return time.Since(t0), false
+	var out outcome
+	for attempt := 0; ; attempt++ {
+		resp, err := g.client.Post(g.base+path, "application/json", strings.NewReader(payload))
+		if err != nil {
+			out.lat = time.Since(t0)
+			return out
+		}
+		_, copyErr := io.Copy(io.Discard, resp.Body)
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if copyErr == nil && resp.StatusCode == http.StatusOK {
+			out.lat = time.Since(t0)
+			out.ok = true
+			return out
+		}
+		shed := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if shed {
+			out.shed++
+		}
+		if !shed || attempt >= g.retries {
+			out.lat = time.Since(t0)
+			return out
+		}
+		out.retries++
+		time.Sleep(backoff(attempt, retryAfter))
 	}
-	_, copyErr := io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return time.Since(t0), copyErr == nil && resp.StatusCode == http.StatusOK
 }
 
 // slotReport is one measurement slot's result.
@@ -136,6 +190,11 @@ type slotReport struct {
 	// reached — the generator's own admission control, counted into
 	// error_rate because the offered request was not served.
 	Dropped int `json:"dropped"`
+	// Shed counts 429/503 responses from the daemon's admission control,
+	// including ones later retried into a success; Retries counts retry
+	// attempts consumed (both 0 unless -retries > 0 for the latter).
+	Shed    int `json:"shed"`
+	Retries int `json:"retries"`
 	// DrainSec is how long after the slot ended the last in-flight
 	// request took to complete. A healthy slot drains in ~one request
 	// latency; a large drain means the slot left a backlog behind.
@@ -163,6 +222,8 @@ func (g *generator) runSlot(slot int, rps float64, d time.Duration) slotReport {
 		latNs   []int64
 		errors  int
 		dropped int
+		shed    int
+		retries int
 		wg      sync.WaitGroup
 	)
 	launched := 0
@@ -185,13 +246,15 @@ func (g *generator) runSlot(slot int, rps float64, d time.Duration) slotReport {
 		go func(kind reqKind) {
 			defer wg.Done()
 			defer func() { <-g.inflight }()
-			lat, ok := g.do(kind)
+			out := g.do(kind)
 			mu.Lock()
-			if ok {
-				latNs = append(latNs, lat.Nanoseconds())
+			if out.ok {
+				latNs = append(latNs, out.lat.Nanoseconds())
 			} else {
 				errors++
 			}
+			shed += out.shed
+			retries += out.retries
 			mu.Unlock()
 		}(kind)
 	}
@@ -206,6 +269,8 @@ func (g *generator) runSlot(slot int, rps float64, d time.Duration) slotReport {
 		Succeeded:   len(latNs),
 		Errors:      errors,
 		Dropped:     dropped,
+		Shed:        shed,
+		Retries:     retries,
 		DrainSec:    (elapsed - d).Seconds(),
 		AchievedRPS: float64(len(latNs)) / elapsed.Seconds(),
 	}
@@ -246,6 +311,8 @@ type report struct {
 	TotalLaunched  int               `json:"total_launched"`
 	TotalSucceeded int               `json:"total_succeeded"`
 	TotalErrors    int               `json:"total_errors"`
+	TotalShed      int               `json:"total_shed"`
+	TotalRetries   int               `json:"total_retries"`
 	WallSeconds    float64           `json:"wall_seconds"`
 }
 
@@ -319,6 +386,7 @@ func run() int {
 		findSat   = flag.Bool("find-saturation", false, "binary-search the max sustainable RPS instead of running a fixed shape")
 		satErr    = flag.Float64("sat-max-error-rate", 0.01, "max error rate for a saturation probe to pass")
 		satRatio  = flag.Float64("sat-min-achieved", 0.95, "min achieved/offered ratio for a saturation probe to pass")
+		retries   = flag.Int("retries", 0, "retries per request after a shed (429/503) response, exponential backoff honoring Retry-After (0: shed is final)")
 	)
 	flag.Parse()
 
@@ -341,6 +409,7 @@ func run() int {
 		seedBase:     *seedBase,
 		instructions: *instr,
 		inflight:     make(chan struct{}, *maxInfl),
+		retries:      *retries,
 	}
 	if g.seedBase == 0 {
 		g.seedBase = *seedBase2
@@ -357,9 +426,9 @@ func run() int {
 			if weights[name] == 0 {
 				continue
 			}
-			if lat, ok := g.do(kind); !ok {
+			if out := g.do(kind); !out.ok {
 				fmt.Fprintf(os.Stderr, "malecload: warmup %s request failed after %v (is malecd up at %s?)\n",
-					name, lat.Round(time.Millisecond), *addr)
+					name, out.lat.Round(time.Millisecond), *addr)
 				return 1
 			}
 		}
@@ -451,6 +520,8 @@ func run() int {
 		rep.TotalLaunched += s.Launched
 		rep.TotalSucceeded += s.Succeeded
 		rep.TotalErrors += s.Errors + s.Dropped
+		rep.TotalShed += s.Shed
+		rep.TotalRetries += s.Retries
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")

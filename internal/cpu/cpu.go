@@ -8,6 +8,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -317,7 +318,23 @@ type machine struct {
 	skipDisabled  bool
 	skippedCycles uint64
 	skipJumps     uint64
+
+	// ctx, when non-nil, is polled every cancelCheckInterval cycles at the
+	// top of the loop; a cancelled context sets cancelled and abandons the
+	// run. A nil ctx (every exact-path legacy caller) keeps the loop
+	// byte-identical and allocation-free. Polling never mutates model
+	// state, so an uncancelled run is bit-identical with or without ctx.
+	ctx           context.Context
+	cancelCheckAt int64
+	cancelled     bool
 }
+
+// cancelCheckInterval is how many simulated cycles pass between context
+// polls: coarse enough to be invisible in profiles (one Err() call per
+// ~260k cycles, well under a millisecond of wall time), fine enough that a
+// disconnecting client stops a 100M-instruction burn within tens of
+// milliseconds.
+const cancelCheckInterval = 1 << 18
 
 // frontendRefill is the pipeline refill penalty after a branch
 // misprediction resolves, in cycles.
@@ -333,6 +350,14 @@ func Run(cfg config.Config, benchmark string, src Source) Result {
 	return RunWithCheckpoints(cfg, benchmark, src, nil)
 }
 
+// RunContext is Run with cancellation: the cycle loop (or, on the sampled
+// path, the window loop) polls ctx at coarse boundaries and abandons the
+// run with ctx.Err() once it is cancelled. A nil ctx disables polling
+// entirely; an uncancelled run returns results bit-identical to Run.
+func RunContext(ctx context.Context, cfg config.Config, benchmark string, src Source) (Result, error) {
+	return RunWithCheckpointsContext(ctx, cfg, benchmark, src, nil)
+}
+
 // RunWithCheckpoints is Run with an optional microarchitectural checkpoint
 // store. When the configuration carries a sampling schedule (and
 // MALEC_NO_SAMPLING is unset, and the source is long enough for at least
@@ -341,17 +366,39 @@ func Run(cfg config.Config, benchmark string, src Source) Result {
 // store is ignored and the run is exact, byte-identical to Run with
 // Sampling == nil.
 func RunWithCheckpoints(cfg config.Config, benchmark string, src Source, ck Checkpoints) Result {
+	res, err := RunWithCheckpointsContext(nil, cfg, benchmark, src, ck)
+	if err != nil {
+		// Unreachable: a nil context is never cancelled.
+		panic(err)
+	}
+	return res
+}
+
+// RunWithCheckpointsContext is RunWithCheckpoints with cancellation (see
+// RunContext). The shadow burst machines of the sampled path run without
+// ctx — bursts are a few thousand instructions, shorter than one polling
+// interval — so cancellation lands between windows.
+func RunWithCheckpointsContext(ctx context.Context, cfg config.Config, benchmark string, src Source, ck Checkpoints) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	if s := cfg.Sampling; s != nil && os.Getenv("MALEC_NO_SAMPLING") == "" {
 		if !s.Valid() {
 			panic(fmt.Sprintf("cpu: invalid sampling schedule %+v (need Detail > 0, Warmup >= 0, Warmup+Detail <= Interval)", *s))
 		}
 		if sized, ok := src.(sizedSource); ok && sized.Remaining() >= s.Interval {
-			return runSampled(cfg, benchmark, src, sized.Remaining(), ck)
+			return runSampled(ctx, cfg, benchmark, src, sized.Remaining(), ck)
 		}
 	}
 	m := newMachine(cfg, core.New(cfg), src)
+	m.ctx = ctx
 	m.run()
-	return m.result(benchmark)
+	if m.cancelled {
+		return Result{}, ctx.Err()
+	}
+	return m.result(benchmark), nil
 }
 
 // newMachine builds the transient core-model state over an interface and a
@@ -407,6 +454,13 @@ func (m *machine) run() {
 	for {
 		if m.stopAt > 0 && m.retired >= m.stopAt {
 			return
+		}
+		if m.ctx != nil && m.cycle >= m.cancelCheckAt {
+			if m.ctx.Err() != nil {
+				m.cancelled = true
+				return
+			}
+			m.cancelCheckAt = m.cycle + cancelCheckInterval
 		}
 		m.cycle++
 		progressed := false

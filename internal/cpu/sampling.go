@@ -22,6 +22,7 @@ package cpu
 // checkpoints capture and restore.
 
 import (
+	"context"
 	"fmt"
 
 	"malec/internal/config"
@@ -76,7 +77,10 @@ type Checkpoints interface {
 
 // runSampled executes the sampled fast path. total is the number of
 // records the source will yield (>= one interval, checked by the caller).
-func runSampled(cfg config.Config, benchmark string, src Source, total int, ck Checkpoints) Result {
+// ctx, when non-nil, is polled once per window and periodically through
+// the tail warm; windows are bounded (one interval of warming plus a
+// burst), so cancellation lands within a window's worth of work.
+func runSampled(ctx context.Context, cfg config.Config, benchmark string, src Source, total int, ck Checkpoints) (Result, error) {
 	sch := cfg.Sampling
 	warmup, detail, interval := sch.Warmup, sch.Detail, sch.Interval
 	burst := warmup + detail
@@ -132,6 +136,11 @@ func runSampled(cfg config.Config, benchmark string, src Source, total int, ck C
 	}
 
 	for k := 0; k < nWin; k++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		// Burst start, as an absolute record index: the checkpoint key.
 		burstStart := uint64(k)*uint64(interval) + uint64(gap)
 
@@ -219,6 +228,11 @@ func runSampled(cfg config.Config, benchmark string, src Source, total int, ck C
 		if !ok {
 			break
 		}
+		if ctx != nil && instructions&(1<<20-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		instructions++
 		switch rec.Kind {
 		case trace.Load:
@@ -288,5 +302,5 @@ func runSampled(cfg config.Config, benchmark string, src Source, total int, ck C
 			CheckpointMisses:   nWin - hits,
 			WarmedRecords:      warmed,
 		},
-	}
+	}, nil
 }

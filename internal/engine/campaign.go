@@ -2,8 +2,10 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -131,6 +133,18 @@ func (p *PanicError) Error() string {
 // still run and RunCampaign returns a *PanicError for the first failed
 // one with no campaign.
 func (e *Engine) RunCampaign(spec CampaignSpec) (*Campaign, error) {
+	return e.RunCampaignContext(context.Background(), spec)
+}
+
+// RunCampaignContext is RunCampaign with cancellation: once ctx is
+// cancelled, no further jobs are fed, in-flight points stop at their next
+// cancellation check, and the context's error is returned. Simulation
+// panics are still contained per job (the remaining jobs run to
+// completion) and surface as *PanicError.
+func (e *Engine) RunCampaignContext(ctx context.Context, spec CampaignSpec) (*Campaign, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	spec, err := spec.normalize(cap(e.sem))
 	if err != nil {
 		return nil, err
@@ -151,7 +165,14 @@ func (e *Engine) RunCampaign(spec CampaignSpec) (*Campaign, error) {
 				err = &PanicError{Job: j, Value: r}
 			}
 		}()
-		res, src := e.RunTracked(j.Config, j.Benchmark, j.Instructions, j.Seed)
+		res, src, err := e.RunContext(ctx, j.Config, j.Benchmark, j.Instructions, j.Seed)
+		if err != nil {
+			var pe *SimPanicError
+			if errors.As(err, &pe) {
+				return JobResult{}, &PanicError{Job: j, Value: pe.Value}
+			}
+			return JobResult{}, err
+		}
 		return JobResult{Job: j, Source: src, Result: res}, nil
 	}
 	idx := make(chan int)
@@ -191,15 +212,23 @@ func (e *Engine) RunCampaign(spec CampaignSpec) (*Campaign, error) {
 	// unaffected — workers write into pre-assigned slots — and with equal
 	// keys results are byte-identical regardless of execution order.
 	nc, nb, ns := len(spec.Configs), len(spec.Benchmarks), len(spec.Seeds)
+feed:
 	for b := 0; b < nb; b++ {
 		for s := 0; s < ns; s++ {
 			for c := 0; c < nc; c++ {
-				idx <- c*nb*ns + b*ns + s
+				select {
+				case idx <- c*nb*ns + b*ns + s:
+				case <-ctx.Done():
+					break feed
+				}
 			}
 		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"malec/internal/cpu"
+	"malec/internal/faultinject"
 )
 
 // DefaultCheckpointEntries bounds the in-memory checkpoint cache when
@@ -53,6 +54,7 @@ type checkpointStore struct {
 	misses       atomic.Uint64
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
+	quarantined  atomic.Uint64 // corrupt disk entries renamed aside
 
 	mu      sync.Mutex
 	entries map[ckKey]*cpu.Checkpoint
@@ -110,14 +112,27 @@ func (s *checkpointStore) load(key ckKey) (*cpu.Checkpoint, bool) {
 	return nil, false
 }
 
+// loadDisk fetches a persisted snapshot. Read failures are plain misses;
+// an entry that reads but fails to decode or validate is corrupt and is
+// quarantined aside (.corrupt rename) so it is never re-read hot — a
+// damaged checkpoint silently degrades to re-warming, never to wrong
+// state.
 func (s *checkpointStore) loadDisk(key ckKey) (*cpu.Checkpoint, bool) {
-	data, err := os.ReadFile(s.diskPath(key))
+	path := s.diskPath(key)
+	if faultinject.DiskRead.Fire() {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
+	faultinject.CkptCorrupt.CorruptBytes(data)
 	var ent ckDiskEntry
 	if err := json.Unmarshal(data, &ent); err != nil ||
 		ent.Version != DiskFormatVersion || ent.Key != key || ent.State == nil || ent.State.Sys == nil {
+		if quarantineCorrupt(path) {
+			s.quarantined.Add(1)
+		}
 		return nil, false
 	}
 	s.bytesRead.Add(uint64(len(data)))
@@ -130,6 +145,9 @@ func (s *checkpointStore) save(key ckKey, st *cpu.Checkpoint) {
 	s.put(key, st)
 	s.mu.Unlock()
 	if s.dir == "" {
+		return
+	}
+	if faultinject.DiskWrite.Fire() {
 		return
 	}
 	path := s.diskPath(key)

@@ -20,22 +20,32 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"malec/internal/config"
 	"malec/internal/cpu"
+	"malec/internal/faultinject"
 	"malec/internal/trace"
 )
 
 // SimulateFunc computes the result of one simulation point. The default is
 // cpu.RunBenchmark; tests substitute stubs to observe scheduling behavior.
 type SimulateFunc func(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result
+
+// SimulateContextFunc is SimulateFunc with cancellation: the engine passes
+// the in-flight job's context, which is cancelled once every caller has
+// abandoned the key. Tests needing to observe or block on cancellation
+// substitute stubs via Options.SimulateContext.
+type SimulateContextFunc func(ctx context.Context, cfg config.Config, benchmark string, instructions int, seed uint64) (cpu.Result, error)
 
 // Options configures an Engine. The zero value is usable.
 type Options struct {
@@ -68,6 +78,10 @@ type Options struct {
 	TraceCacheRecords int
 	// Simulate overrides the simulation function (tests only).
 	Simulate SimulateFunc
+	// SimulateContext overrides the simulation function with a
+	// cancellation-aware stub (tests only); takes precedence over
+	// Simulate.
+	SimulateContext SimulateContextFunc
 }
 
 // DefaultTraceCacheRecords is the default materialized-trace cache bound:
@@ -132,23 +146,55 @@ type Stats struct {
 	// serialization cost).
 	CheckpointBytesRead    uint64 `json:"checkpointBytesRead"`
 	CheckpointBytesWritten uint64 `json:"checkpointBytesWritten"`
+	// Cancelled counts in-flight simulations abandoned because every
+	// caller went away (client disconnects, deadlines): the job's context
+	// was cancelled and the simulation stopped mid-run.
+	Cancelled uint64 `json:"cancelled"`
+	// Panics counts simulation panics contained as structured per-job
+	// errors instead of unwinding the process.
+	Panics uint64 `json:"panics"`
+	// Quarantined counts poisoned keys (a panicking simulation point is
+	// never re-run hot) plus corrupt disk-store and checkpoint entries
+	// renamed aside with a .corrupt suffix.
+	Quarantined uint64 `json:"quarantined"`
 }
 
 // Lookups returns the total number of requests the engine has served.
 func (s Stats) Lookups() uint64 { return s.Hits + s.DiskHits + s.Dedup + s.Simulations }
 
-// call is one in-flight simulation; waiters block on done. If the leader
-// panicked, panicVal holds the panic value for waiters to re-raise.
+// SimPanicError is the structured form of a contained simulation panic.
+// The engine recovers worker panics instead of letting them unwind the
+// process, returns this error to every caller of the key, and quarantines
+// the key so a poisoned point is never re-run hot (no re-panic storm).
+type SimPanicError struct {
+	Key   Key
+	Value any
+}
+
+// Error implements error.
+func (e *SimPanicError) Error() string {
+	return fmt.Sprintf("engine: simulation %s panicked: %v", e.Key, e.Value)
+}
+
+// call is one in-flight simulation. The work runs on a detached goroutine
+// under its own context; callers (the initiating one and any deduplicated
+// joiners) wait on done with their own contexts, so one caller's
+// cancellation never poisons the result for the others. waiters counts the
+// callers still interested (guarded by Engine.mu); the last one to abandon
+// cancels the job.
 type call struct {
-	done     chan struct{}
-	res      cpu.Result
-	panicVal any
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	res     cpu.Result
+	src     Source
+	err     error
 }
 
 // Engine schedules, deduplicates, caches and persists simulations. It is
 // safe for concurrent use.
 type Engine struct {
-	simulate   SimulateFunc
+	simulate   SimulateContextFunc
 	cacheDir   string
 	maxEntries int
 	sem        chan struct{}    // bounds concurrent simulations
@@ -160,10 +206,15 @@ type Engine struct {
 	queued  atomic.Int64
 	running atomic.Int64
 
+	// filesQuarantined counts corrupt result-store entries renamed aside
+	// (outside e.mu: loadDisk runs on the job path).
+	filesQuarantined atomic.Uint64
+
 	mu       sync.Mutex
 	cache    map[Key]cpu.Result
 	order    []Key // cache insertion order, for FIFO eviction
 	inflight map[Key]*call
+	poisoned map[Key]error // keys whose simulation panicked, never re-run
 	stats    Stats
 }
 
@@ -178,8 +229,15 @@ func New(opts Options) *Engine {
 		sem:        make(chan struct{}, opts.Workers),
 		cache:      make(map[Key]cpu.Result),
 		inflight:   make(map[Key]*call),
+		poisoned:   make(map[Key]error),
 	}
-	e.simulate = opts.Simulate
+	e.simulate = opts.SimulateContext
+	if e.simulate == nil && opts.Simulate != nil {
+		sim := opts.Simulate
+		e.simulate = func(_ context.Context, cfg config.Config, benchmark string, instructions int, seed uint64) (cpu.Result, error) {
+			return sim(cfg, benchmark, instructions, seed), nil
+		}
+	}
 	if e.simulate == nil {
 		if opts.CheckpointEntries >= 0 {
 			e.ckpts = newCheckpointStore(opts.CacheDir, opts.CheckpointEntries)
@@ -190,25 +248,28 @@ func New(opts Options) *Engine {
 		}
 		if bound > 0 {
 			e.traces = trace.NewCache(bound)
-			e.simulate = func(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result {
+			e.simulate = func(ctx context.Context, cfg config.Config, benchmark string, instructions int, seed uint64) (cpu.Result, error) {
 				recs := e.traces.Records(benchmark, seed, instructions)
-				return cpu.RunWithCheckpoints(cfg, benchmark,
+				return cpu.RunWithCheckpointsContext(ctx, cfg, benchmark,
 					&cpu.SliceSource{Records: recs}, e.checkpoints(cfg, benchmark, seed))
 			}
 		} else {
-			e.simulate = func(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result {
+			e.simulate = func(ctx context.Context, cfg config.Config, benchmark string, instructions int, seed uint64) (cpu.Result, error) {
 				prof, ok := trace.Profiles[benchmark]
 				if !ok {
 					panic(fmt.Sprintf("engine: unknown benchmark %q", benchmark))
 				}
 				gen := trace.NewGenerator(prof, seed)
-				return cpu.RunWithCheckpoints(cfg, benchmark,
+				return cpu.RunWithCheckpointsContext(ctx, cfg, benchmark,
 					&cpu.GenSource{Gen: gen, N: instructions}, e.checkpoints(cfg, benchmark, seed))
 			}
 		}
 	}
 	return e
 }
+
+// Workers returns the engine's concurrent-simulation bound.
+func (e *Engine) Workers() int { return cap(e.sem) }
 
 // checkpoints returns the warmed-checkpoint view for one simulation point,
 // scoped by memory-side digest so core-side config variants share entries.
@@ -244,81 +305,187 @@ func (e *Engine) Run(cfg config.Config, benchmark string, instructions int, seed
 	return res
 }
 
-// RunTracked is Run plus the source the result was served from.
+// RunTracked is Run plus the source the result was served from. It is the
+// legacy non-cancellable entry point: simulator panics (contained as
+// structured errors on the context path) re-raise with their original
+// panic value, preserving pre-context behavior for CLI callers.
 func (e *Engine) RunTracked(cfg config.Config, benchmark string, instructions int, seed uint64) (cpu.Result, Source) {
-	key := KeyFor(cfg, benchmark, instructions, seed)
-
-	e.mu.Lock()
-	if res, ok := e.cache[key]; ok {
-		e.stats.Hits++
-		e.mu.Unlock()
-		return res, SourceMemory
-	}
-	if c, ok := e.inflight[key]; ok {
-		e.stats.Dedup++
-		e.mu.Unlock()
-		<-c.done
-		if c.panicVal != nil {
-			// The leader's simulation panicked; a zero Result would
-			// be silently wrong data, so every waiter fails the same
-			// way the leader did.
-			panic(c.panicVal)
+	res, src, err := e.RunContext(context.Background(), cfg, benchmark, instructions, seed)
+	if err != nil {
+		var pe *SimPanicError
+		if errors.As(err, &pe) {
+			panic(pe.Value)
 		}
-		return c.res, SourceInflight
+		// Unreachable: a Background context is never cancelled.
+		panic(err)
 	}
-	c := &call{done: make(chan struct{})}
-	e.inflight[key] = c
-	e.mu.Unlock()
-
-	// Leader path: this goroutine owns the key until c.done closes. If
-	// the simulator panics (e.g. an unknown benchmark reached the engine
-	// unvalidated), drop the key, hand the panic value to waiters, and
-	// re-raise, so the engine stays usable.
-	defer func() {
-		if r := recover(); r != nil {
-			e.mu.Lock()
-			delete(e.inflight, key)
-			e.mu.Unlock()
-			c.panicVal = r
-			close(c.done)
-			panic(r)
-		}
-	}()
-
-	src := SourceDisk
-	res, ok := e.loadDisk(key)
-	if !ok {
-		res = e.runSimulation(cfg, benchmark, instructions, seed)
-		src = SourceSimulated
-		e.saveDisk(key, res)
-	}
-
-	e.mu.Lock()
-	e.store(key, res)
-	delete(e.inflight, key)
-	if src == SourceDisk {
-		e.stats.DiskHits++
-	} else {
-		e.stats.Simulations++
-	}
-	e.mu.Unlock()
-	c.res = res
-	close(c.done)
 	return res, src
 }
 
-// runSimulation executes the simulator under the worker bound, releasing
-// the slot even if the simulator panics.
-func (e *Engine) runSimulation(cfg config.Config, benchmark string, instructions int, seed uint64) cpu.Result {
+// RunContext returns the result of one simulation point, computing it at
+// most once per key across all concurrent callers. The work runs on a
+// detached goroutine: ctx cancellation detaches this caller immediately,
+// and the underlying simulation is only cancelled once every caller
+// interested in the key has gone away — a cancelled waiter on a deduped
+// job never cancels or poisons the result for the others. A simulation
+// panic is returned as *SimPanicError to every caller and the key is
+// quarantined: subsequent calls fail fast without re-running it.
+func (e *Engine) RunContext(ctx context.Context, cfg config.Config, benchmark string, instructions int, seed uint64) (cpu.Result, Source, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key := KeyFor(cfg, benchmark, instructions, seed)
+	for {
+		if err := ctx.Err(); err != nil {
+			return cpu.Result{}, "", err
+		}
+		e.mu.Lock()
+		if res, ok := e.cache[key]; ok {
+			e.stats.Hits++
+			e.mu.Unlock()
+			return res, SourceMemory, nil
+		}
+		if err, ok := e.poisoned[key]; ok {
+			e.mu.Unlock()
+			return cpu.Result{}, "", err
+		}
+		if c, ok := e.inflight[key]; ok {
+			e.stats.Dedup++
+			c.waiters++
+			e.mu.Unlock()
+			res, src, err := e.wait(ctx, c, SourceInflight)
+			if err != nil && ctx.Err() == nil && isCancellation(err) {
+				// The flight died of its own cancellation: its other
+				// waiters all left in the window before we joined. Our
+				// context is still live, so run the point again.
+				continue
+			}
+			return res, src, err
+		}
+		c := &call{done: make(chan struct{}), waiters: 1}
+		// The job's context is detached from the initiating caller's: it
+		// is cancelled by the last waiter leaving, not by any one
+		// caller's disconnect.
+		jobCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		c.cancel = cancel
+		e.inflight[key] = c
+		e.mu.Unlock()
+		go e.runJob(jobCtx, c, key, cfg, benchmark, instructions, seed)
+		return e.wait(ctx, c, "")
+	}
+}
+
+// wait blocks until the call completes or ctx is cancelled. Abandoning
+// decrements the call's waiter count; the last waiter out cancels the job.
+// joinedSrc, when non-empty, overrides the served source (deduplicated
+// joiners report SourceInflight regardless of where the job's result came
+// from).
+func (e *Engine) wait(ctx context.Context, c *call, joinedSrc Source) (cpu.Result, Source, error) {
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		e.mu.Lock()
+		c.waiters--
+		abandoned := c.waiters == 0
+		e.mu.Unlock()
+		if abandoned {
+			c.cancel()
+		}
+		return cpu.Result{}, "", ctx.Err()
+	}
+	if c.err != nil {
+		return cpu.Result{}, "", c.err
+	}
+	if joinedSrc != "" {
+		return c.res, joinedSrc, nil
+	}
+	return c.res, c.src, nil
+}
+
+// runJob owns the key until c.done closes: it executes the point under the
+// job context, publishes the outcome, and updates the caches and counters.
+// Runs on its own goroutine.
+func (e *Engine) runJob(ctx context.Context, c *call, key Key, cfg config.Config, benchmark string, instructions int, seed uint64) {
+	defer c.cancel()
+	res, src, err := e.execute(ctx, key, cfg, benchmark, instructions, seed)
+	e.mu.Lock()
+	delete(e.inflight, key)
+	switch {
+	case err == nil:
+		e.store(key, res)
+		if src == SourceDisk {
+			e.stats.DiskHits++
+		} else {
+			e.stats.Simulations++
+		}
+	case isCancellation(err):
+		e.stats.Cancelled++
+	default:
+		e.stats.Panics++
+		e.stats.Quarantined++
+		e.poisoned[key] = err
+	}
+	c.res, c.src, c.err = res, src, err
+	e.mu.Unlock()
+	close(c.done)
+}
+
+// execute resolves one point: disk store first, then a worker slot and the
+// simulator. The slot acquisition honors cancellation, so abandoned jobs
+// never consume simulation capacity.
+func (e *Engine) execute(ctx context.Context, key Key, cfg config.Config, benchmark string, instructions int, seed uint64) (cpu.Result, Source, error) {
+	if res, ok := e.loadDisk(key); ok {
+		return res, SourceDisk, nil
+	}
 	e.queued.Add(1)
-	e.sem <- struct{}{}
-	e.queued.Add(-1)
+	select {
+	case e.sem <- struct{}{}:
+		e.queued.Add(-1)
+	case <-ctx.Done():
+		e.queued.Add(-1)
+		return cpu.Result{}, "", ctx.Err()
+	}
 	e.running.Add(1)
 	defer func() {
 		e.running.Add(-1)
 		<-e.sem
 	}()
-	return e.simulate(cfg, benchmark, instructions, seed)
+	if faultinject.SimLatency.Fire() {
+		t := time.NewTimer(faultinject.Latency())
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return cpu.Result{}, "", ctx.Err()
+		}
+	}
+	res, err := e.invoke(ctx, key, cfg, benchmark, instructions, seed)
+	if err != nil {
+		return cpu.Result{}, "", err
+	}
+	e.saveDisk(key, res)
+	return res, SourceSimulated, nil
+}
+
+// invoke runs the simulator with panic containment: a panicking point
+// (model bug, injected fault) becomes a *SimPanicError instead of
+// unwinding the worker goroutine and killing the process.
+func (e *Engine) invoke(ctx context.Context, key Key, cfg config.Config, benchmark string, instructions int, seed uint64) (res cpu.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &SimPanicError{Key: key, Value: r}
+		}
+	}()
+	if faultinject.SimPanic.Fire() {
+		panic("faultinject: injected simulation panic")
+	}
+	return e.simulate(ctx, cfg, benchmark, instructions, seed)
+}
+
+// isCancellation reports whether err is a context cancellation or deadline
+// rather than a simulation failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Cached returns the cached result for a key, if present in memory.
@@ -348,7 +515,9 @@ func (e *Engine) Stats() Stats {
 		s.CheckpointMisses = e.ckpts.misses.Load()
 		s.CheckpointBytesRead = e.ckpts.bytesRead.Load()
 		s.CheckpointBytesWritten = e.ckpts.bytesWritten.Load()
+		s.Quarantined += e.ckpts.quarantined.Load()
 	}
+	s.Quarantined += e.filesQuarantined.Load()
 	return s
 }
 
@@ -379,22 +548,39 @@ func (e *Engine) diskPath(key Key) string {
 	return filepath.Join(e.cacheDir, fmt.Sprintf("v%d", DiskFormatVersion), key.shard(), key.filename())
 }
 
-// loadDisk fetches a persisted result. Any read or decode failure, key
-// mismatch or version mismatch is a plain miss: the store is a cache,
-// never a source of truth.
+// loadDisk fetches a persisted result. A read failure (including an
+// injected one) is a plain miss: the store is a cache, never a source of
+// truth. A file that reads fine but fails to decode or validate is
+// corrupt: it is quarantined aside with a .corrupt rename and counted, so
+// a damaged entry is never re-parsed hot on every subsequent lookup.
 func (e *Engine) loadDisk(key Key) (cpu.Result, bool) {
 	if e.cacheDir == "" {
 		return cpu.Result{}, false
 	}
-	data, err := os.ReadFile(e.diskPath(key))
+	path := e.diskPath(key)
+	if faultinject.DiskRead.Fire() {
+		return cpu.Result{}, false
+	}
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return cpu.Result{}, false
 	}
+	faultinject.DiskCorrupt.CorruptBytes(data)
 	var ent diskEntry
 	if err := json.Unmarshal(data, &ent); err != nil || ent.Version != DiskFormatVersion || ent.Key != key {
+		if quarantineCorrupt(path) {
+			e.filesQuarantined.Add(1)
+		}
 		return cpu.Result{}, false
 	}
 	return ent.Result, true
+}
+
+// quarantineCorrupt moves a damaged store entry aside so it is read (and
+// fails) exactly once; the .corrupt sibling is kept for post-mortems.
+// Reports whether the rename succeeded.
+func quarantineCorrupt(path string) bool {
+	return os.Rename(path, path+".corrupt") == nil
 }
 
 // saveDisk persists a result, writing to a temp file and renaming so a
@@ -402,6 +588,9 @@ func (e *Engine) loadDisk(key Key) (cpu.Result, bool) {
 // effort: on any error the entry is simply not stored.
 func (e *Engine) saveDisk(key Key, res cpu.Result) {
 	if e.cacheDir == "" {
+		return
+	}
+	if faultinject.DiskWrite.Fire() {
 		return
 	}
 	dir := filepath.Dir(e.diskPath(key))

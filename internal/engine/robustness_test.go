@@ -1,0 +1,254 @@
+package engine
+
+// Robustness-substrate tests: cancellation propagation through the
+// scheduler, singleflight isolation of cancelled waiters, panic
+// quarantine, and corrupt-store quarantine.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"malec/internal/config"
+	"malec/internal/cpu"
+	"malec/internal/faultinject"
+)
+
+// blockingSim returns a SimulateContext stub that signals when entered and
+// then blocks until its context is cancelled or release is closed.
+func blockingSim(entered chan<- struct{}, release <-chan struct{}, calls *atomic.Int64) SimulateContextFunc {
+	return func(ctx context.Context, cfg config.Config, b string, n int, s uint64) (cpu.Result, error) {
+		calls.Add(1)
+		entered <- struct{}{}
+		select {
+		case <-ctx.Done():
+			return cpu.Result{}, ctx.Err()
+		case <-release:
+			return stubResult(cfg, b, n, s), nil
+		}
+	}
+}
+
+func TestCancelledWaiterDoesNotPoisonResult(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var calls atomic.Int64
+	e := New(Options{Workers: 1, SimulateContext: blockingSim(entered, release, &calls)})
+	cfg := config.MALEC()
+
+	type out struct {
+		res cpu.Result
+		src Source
+		err error
+	}
+	leaderDone := make(chan out, 1)
+	go func() {
+		res, src, err := e.RunContext(context.Background(), cfg, "gzip", 1000, 1)
+		leaderDone <- out{res, src, err}
+	}()
+	<-entered
+
+	// A second caller joins the in-flight job, then disconnects.
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan out, 1)
+	go func() {
+		res, src, err := e.RunContext(waiterCtx, cfg, "gzip", 1000, 1)
+		waiterDone <- out{res, src, err}
+	}()
+	for e.Stats().Dedup == 0 {
+		runtime.Gosched()
+	}
+	cancelWaiter()
+	w := <-waiterDone
+	if !errors.Is(w.err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", w.err)
+	}
+
+	// The surviving caller still gets the real result: the waiter's
+	// cancellation neither cancelled nor poisoned the shared job.
+	close(release)
+	l := <-leaderDone
+	if l.err != nil {
+		t.Fatalf("surviving caller err = %v after waiter cancel", l.err)
+	}
+	if l.res.Cycles == 0 || l.src != SourceSimulated {
+		t.Fatalf("surviving caller got %+v from %q, want simulated stub result", l.res, l.src)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("simulate ran %d times, want 1", n)
+	}
+}
+
+func TestLastWaiterCancelStopsSimulation(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	var calls atomic.Int64
+	e := New(Options{Workers: 1, SimulateContext: blockingSim(entered, nil, &calls)})
+	cfg := config.MALEC()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := e.RunContext(ctx, cfg, "gzip", 1000, 1)
+		done <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// The detached job observes the cancellation: Cancelled moves and the
+	// key leaves the in-flight table, so a later caller re-runs it.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Cancelled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Stats().Cancelled never moved after last-waiter cancel")
+		}
+		runtime.Gosched()
+	}
+	if _, ok := e.Cached(KeyFor(cfg, "gzip", 1000, 1)); ok {
+		t.Fatal("cancelled simulation left a cached result")
+	}
+}
+
+func TestAlreadyCancelledContextShortCircuits(t *testing.T) {
+	var calls atomic.Int64
+	e := New(Options{Simulate: func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		return stubResult(cfg, b, n, s)
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := e.RunContext(ctx, config.MALEC(), "gzip", 1000, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("simulate ran under an already-cancelled context")
+	}
+}
+
+func TestPanicQuarantinesKey(t *testing.T) {
+	var calls atomic.Int64
+	e := New(Options{Simulate: func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		panic("simulator exploded")
+	}})
+	cfg := config.MALEC()
+
+	_, _, err := e.RunContext(context.Background(), cfg, "mcf", 1000, 1)
+	var pe *SimPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *SimPanicError", err)
+	}
+	if pe.Value != "simulator exploded" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+
+	// Repeat calls fail fast with the same structured error and never
+	// re-run the poisoned point: no re-panic storm.
+	_, _, err2 := e.RunContext(context.Background(), cfg, "mcf", 1000, 1)
+	if !errors.As(err2, &pe) {
+		t.Fatalf("repeat err = %v, want *SimPanicError", err2)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("poisoned point ran %d times, want 1", n)
+	}
+	st := e.Stats()
+	if st.Panics != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats = {Panics:%d Quarantined:%d}, want {1 1}", st.Panics, st.Quarantined)
+	}
+}
+
+func TestCorruptDiskEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	sim := func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		return stubResult(cfg, b, n, s)
+	}
+	cfg := config.Base1ldst()
+	key := KeyFor(cfg, "gzip", 1000, 1)
+
+	e := New(Options{CacheDir: dir, Simulate: sim})
+	path := e.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"version":1,"key"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First lookup detects the corruption, quarantines the file aside and
+	// re-simulates.
+	if _, src := e.RunTracked(cfg, "gzip", 1000, 1); src != SourceSimulated {
+		t.Fatalf("corrupt entry served as %v, want re-simulation", src)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt entry not quarantined aside: %v", err)
+	}
+	if st := e.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+
+	// The slot now holds the freshly simulated entry; a cold engine over
+	// the same directory reads it from disk — the damaged bytes are gone
+	// for good, not re-parsed as a silent miss on every lookup.
+	e2 := New(Options{CacheDir: dir, Simulate: sim})
+	if _, src := e2.RunTracked(cfg, "gzip", 1000, 1); src != SourceDisk {
+		t.Fatalf("post-quarantine entry served as %v, want disk", src)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("simulate ran %d times, want 1", n)
+	}
+}
+
+func TestCampaignContextCancellation(t *testing.T) {
+	entered := make(chan struct{}, 64)
+	var calls atomic.Int64
+	e := New(Options{Workers: 2, SimulateContext: blockingSim(entered, nil, &calls)})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.RunCampaignContext(ctx, campaignSpec(2))
+		done <- err
+	}()
+	<-entered
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled campaign did not return within 10s")
+	}
+}
+
+func TestInjectedDiskWriteFaultSkipsPersist(t *testing.T) {
+	faultinject.DiskWrite.Arm(1)
+	defer faultinject.DiskWrite.Disarm()
+	dir := t.TempDir()
+	var calls atomic.Int64
+	sim := func(cfg config.Config, b string, n int, s uint64) cpu.Result {
+		calls.Add(1)
+		return stubResult(cfg, b, n, s)
+	}
+	cfg := config.Base1ldst()
+
+	e1 := New(Options{CacheDir: dir, Simulate: sim})
+	e1.Run(cfg, "gzip", 1000, 1)
+	// Nothing was persisted, so a fresh engine re-simulates.
+	e2 := New(Options{CacheDir: dir, Simulate: sim})
+	if _, src := e2.RunTracked(cfg, "gzip", 1000, 1); src != SourceSimulated {
+		t.Fatalf("source = %v, want re-simulation under injected write faults", src)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("simulate ran %d times, want 2", n)
+	}
+}

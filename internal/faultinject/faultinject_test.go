@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestDisarmedNeverFires(t *testing.T) {
+	p := &Point{name: "t", env: "MALEC_FAULT_TEST_NONE"}
+	for i := 0; i < 10000; i++ {
+		if p.Fire() {
+			t.Fatal("disarmed point fired")
+		}
+	}
+	if p.Fires() != 0 {
+		t.Fatalf("fires = %d, want 0", p.Fires())
+	}
+}
+
+func TestFullProbabilityAlwaysFires(t *testing.T) {
+	p := &Point{name: "t", env: "MALEC_FAULT_TEST_FULL"}
+	p.Arm(1)
+	for i := 0; i < 1000; i++ {
+		if !p.Fire() {
+			t.Fatal("point armed at 1.0 did not fire")
+		}
+	}
+	if p.Fires() != 1000 {
+		t.Fatalf("fires = %d, want 1000", p.Fires())
+	}
+}
+
+func TestProbabilityIsRoughlyHonored(t *testing.T) {
+	p := &Point{name: "t", env: "MALEC_FAULT_TEST_HALF"}
+	p.Arm(0.5)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p.Fire()
+	}
+	got := float64(p.Fires()) / n
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("fire rate = %.3f, want ~0.5", got)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	a := &Point{name: "a", env: "MALEC_FAULT_TEST_A"}
+	b := &Point{name: "b", env: "MALEC_FAULT_TEST_B"}
+	a.Arm(0.3)
+	b.Arm(0.3)
+	for i := 0; i < 5000; i++ {
+		if a.Fire() != b.Fire() {
+			t.Fatalf("schedules diverged at draw %d", i)
+		}
+	}
+}
+
+func TestEnvArming(t *testing.T) {
+	t.Setenv("MALEC_FAULT_DISK_READ", "0.25")
+	t.Setenv("MALEC_FAULT_SIM_LATENCY_MS", "7")
+	Reload()
+	defer func() {
+		// t.Setenv restores the environment; re-sync the armed state.
+		t.Cleanup(Reload)
+	}()
+	if !DiskRead.Enabled() {
+		t.Fatal("DiskRead not armed from env")
+	}
+	if DiskWrite.Enabled() {
+		t.Fatal("DiskWrite armed without env")
+	}
+	if got := Latency(); got != 7*time.Millisecond {
+		t.Fatalf("Latency() = %v, want 7ms", got)
+	}
+	active := Active()
+	if len(active) != 1 || active[0] != "disk_read=0.25" {
+		t.Fatalf("Active() = %v, want [disk_read=0.25]", active)
+	}
+}
+
+func TestInvalidEnvValuesDisarm(t *testing.T) {
+	for _, v := range []string{"nope", "-1", "0", "NaN"} {
+		t.Setenv("MALEC_FAULT_SIM_PANIC", v)
+		Reload()
+		if SimPanic.Enabled() {
+			t.Fatalf("SimPanic armed by env value %q", v)
+		}
+	}
+	t.Cleanup(Reload)
+}
+
+func TestCorruptBytesBreaksJSON(t *testing.T) {
+	p := &Point{name: "t", env: "MALEC_FAULT_TEST_CORRUPT"}
+	p.Arm(1)
+	data, err := json.Marshal(map[string]int{"version": 1, "cycles": 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CorruptBytes(data) {
+		t.Fatal("armed CorruptBytes returned false")
+	}
+	var out map[string]any
+	if json.Unmarshal(data, &out) == nil {
+		t.Fatal("corrupted bytes still parse as JSON")
+	}
+	// Disarmed: data untouched.
+	p.Disarm()
+	orig := []byte(`{"k":1}`)
+	cp := append([]byte(nil), orig...)
+	if p.CorruptBytes(cp) {
+		t.Fatal("disarmed CorruptBytes returned true")
+	}
+	if string(cp) != string(orig) {
+		t.Fatal("disarmed CorruptBytes modified data")
+	}
+}

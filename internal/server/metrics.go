@@ -153,6 +153,15 @@ func (s *Server) registerEngineMetrics() {
 	counter("malec_engine_checkpoint_bytes_written_total",
 		"Bytes of warmed checkpoints persisted to the disk store.",
 		func() uint64 { return st.CheckpointBytesWritten })
+	counter("malec_engine_cancelled_total",
+		"In-flight simulations abandoned because every caller went away.",
+		func() uint64 { return st.Cancelled })
+	counter("malec_engine_panics_total",
+		"Simulation panics contained as structured per-job errors.",
+		func() uint64 { return st.Panics })
+	counter("malec_engine_quarantined_total",
+		"Poisoned keys plus corrupt store entries quarantined aside.",
+		func() uint64 { return st.Quarantined })
 	gauge("malec_engine_cache_entries",
 		"Current in-memory result cache size.",
 		func() int { return st.Entries })

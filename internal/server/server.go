@@ -21,11 +21,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"malec/internal/config"
@@ -44,6 +45,28 @@ type Options struct {
 	// MaxSweepJobs caps the number of jobs one sweep may expand to
 	// (default 4096).
 	MaxSweepJobs int
+	// RequestTimeout bounds the server-side processing time of
+	// simulation-bearing requests (/v1/run, /v1/sweep); past it the
+	// simulation is cancelled and the client gets 504. A request's own
+	// deadline_ms tightens it further, never loosens it. Zero disables.
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds how many simulation-bearing requests are
+	// admitted at once; excess requests queue (see MaxQueueDepth) and are
+	// shed with 429 + Retry-After past the bounds. Zero disables the gate
+	// and its queue.
+	MaxConcurrent int
+	// MaxQueueDepth bounds admitted-queue waiters beyond MaxConcurrent
+	// (default 64 when the gate is on; negative means shed immediately
+	// when the gate is full).
+	MaxQueueDepth int
+	// MaxQueueWait bounds how long a queued request waits for the gate
+	// before being shed (default 5s when the gate is on).
+	MaxQueueWait time.Duration
+	// PerClientConcurrency caps concurrent simulation-bearing requests
+	// per client (X-API-Key header, else remote address), so one client's
+	// sweep burst cannot starve everyone else's interactive traffic. Zero
+	// disables.
+	PerClientConcurrency int
 }
 
 // normalize applies option defaults.
@@ -53,6 +76,14 @@ func (o Options) normalize() Options {
 	}
 	if o.MaxSweepJobs <= 0 {
 		o.MaxSweepJobs = 4096
+	}
+	if o.MaxConcurrent > 0 {
+		if o.MaxQueueDepth == 0 {
+			o.MaxQueueDepth = 64
+		}
+		if o.MaxQueueWait <= 0 {
+			o.MaxQueueWait = 5 * time.Second
+		}
 	}
 	return o
 }
@@ -64,6 +95,15 @@ type Server struct {
 	mux   *http.ServeMux
 	reg   *metrics.Registry
 	start time.Time
+	adm   *admission
+	// ready and draining drive /readyz: not-ready before initialization
+	// completes, draining once shutdown has begun. Liveness (/healthz)
+	// stays green through both.
+	ready    atomic.Bool
+	draining atomic.Bool
+	// timeouts counts simulation-bearing requests that hit their deadline
+	// (malecd_timeouts_total).
+	timeouts *metrics.Counter
 	// endpoints lists every instrumented route in registration order,
 	// for the /v1/stats serving summary.
 	endpoints []routeMetrics
@@ -78,7 +118,11 @@ func New(eng *engine.Engine, opts Options) *Server {
 		reg:   metrics.NewRegistry(),
 		start: time.Now(),
 	}
+	s.adm = newAdmission(s.opts, s.reg)
+	s.timeouts = s.reg.Counter("malecd_timeouts_total",
+		"Simulation-bearing requests cancelled at their deadline.")
 	s.handle("GET", "/healthz", s.handleHealthz)
+	s.handle("GET", "/readyz", s.handleReadyz)
 	s.handle("GET", "/metrics", s.handleMetrics)
 	s.handle("GET", "/v1/configs", s.handleConfigs)
 	s.handle("GET", "/v1/benchmarks", s.handleBenchmarks)
@@ -86,11 +130,23 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.handle("POST", "/v1/run", s.handleRun)
 	s.handle("POST", "/v1/sweep", s.handleSweep)
 	s.registerEngineMetrics()
+	// The handler is fully wired over a constructed engine; readiness
+	// from here on is a question of drain state.
+	s.ready.Store(true)
 	return s
 }
 
 // Metrics exposes the server's metrics registry (tests, embedding).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// SetReady overrides the readiness state (embedding servers that finish
+// initialization after New).
+func (s *Server) SetReady(v bool) { s.ready.Store(v) }
+
+// StartDraining flips the server into drain mode: /readyz starts failing
+// so load balancers stop routing here, and new simulation-bearing
+// requests are rejected with 503 while in-flight ones finish.
+func (s *Server) StartDraining() { s.draining.Store(true) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -109,21 +165,81 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// maxBodyBytes bounds request bodies: far above any legitimate run or
+// sweep spec, far below anything that could pressure memory.
+const maxBodyBytes = 1 << 20
+
 // readBody decodes a JSON request body into v, rejecting unknown fields so
-// client typos fail loudly instead of silently running defaults.
+// client typos fail loudly instead of silently running defaults. Oversized
+// bodies are cut off by http.MaxBytesReader (which also closes the
+// connection) and reported as 413.
 func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return false
 	}
 	return true
 }
 
-// handleHealthz implements GET /healthz.
+// handleHealthz implements GET /healthz: pure liveness, green as long as
+// the process serves HTTP — including during drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz implements GET /readyz: readiness for traffic. It fails
+// before initialization completes and during drain, so orchestrators and
+// the CI drain check can distinguish "alive" from "routable".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// requestContext derives the simulation context for one request: the
+// client's request context (cancelled on disconnect) bounded by the
+// server's RequestTimeout and the request's own deadline_ms, whichever is
+// sooner.
+func (s *Server) requestContext(r *http.Request, deadlineMs int) (context.Context, context.CancelFunc) {
+	d := s.opts.RequestTimeout
+	if deadlineMs > 0 {
+		rd := time.Duration(deadlineMs) * time.Millisecond
+		if d == 0 || rd < d {
+			d = rd
+		}
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeSimError maps a simulation-path error to its response: deadline →
+// 504 (counted in malecd_timeouts_total), client disconnect → 499,
+// contained panic or anything else → 500.
+func (s *Server) writeSimError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, "client closed request")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 // handleConfigs implements GET /v1/configs.
@@ -171,6 +287,10 @@ type runRequest struct {
 	Benchmark    string  `json:"benchmark"`
 	Instructions int     `json:"instructions"`
 	Seed         *uint64 `json:"seed"`
+	// DeadlineMs, when positive, bounds this request's processing time in
+	// milliseconds; it can only tighten the server's -request-timeout.
+	// Past the deadline the simulation is cancelled and the reply is 504.
+	DeadlineMs int `json:"deadline_ms"`
 	// Sampling, when present, switches the run to the sampled fast path
 	// (SMARTS-style interval sampling; see README "Sampled simulation").
 	// The result becomes an estimate — sampled and exact runs cache under
@@ -227,6 +347,11 @@ func (s *Server) resolveRun(req *runRequest) (config.Config, uint64, error) {
 
 // handleRun implements POST /v1/run.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.adm.admit(w, r, s.draining.Load())
+	if !ok {
+		return
+	}
+	defer release()
 	var req runRequest
 	if !readBody(w, r, &req) {
 		return
@@ -237,7 +362,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bench := req.Benchmark
-	res, src := s.eng.RunTracked(cfg, bench, req.Instructions, seed)
+	ctx, cancel := s.requestContext(r, req.DeadlineMs)
+	defer cancel()
+	res, src, err := s.eng.RunContext(ctx, cfg, bench, req.Instructions, seed)
+	if err != nil {
+		s.writeSimError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, runResponse{
 		Key:      engine.KeyFor(cfg, bench, req.Instructions, seed),
 		Source:   src,
@@ -255,6 +386,9 @@ type sweepRequest struct {
 	Seeds        []uint64 `json:"seeds"`
 	// Format selects the response encoding: "json" (default) or "csv".
 	Format string `json:"format"`
+	// DeadlineMs bounds the whole sweep's processing time in
+	// milliseconds; see runRequest.DeadlineMs.
+	DeadlineMs int `json:"deadline_ms"`
 	// Sampling, when present, runs every point of the sweep on the
 	// sampled fast path — the quality tier for large grids: core-side
 	// config variants share warmed checkpoints, so only the first config
@@ -264,6 +398,11 @@ type sweepRequest struct {
 
 // handleSweep implements POST /v1/sweep.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.adm.admit(w, r, s.draining.Load())
+	if !ok {
+		return
+	}
+	defer release()
 	var req sweepRequest
 	if !readBody(w, r, &req) {
 		return
@@ -314,19 +453,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	camp, err := s.eng.RunCampaign(engine.CampaignSpec{
+	ctx, cancel := s.requestContext(r, req.DeadlineMs)
+	defer cancel()
+	camp, err := s.eng.RunCampaignContext(ctx, engine.CampaignSpec{
 		Configs:      cfgs,
 		Benchmarks:   req.Benchmarks,
 		Instructions: req.Instructions,
 		Seeds:        req.Seeds,
 	})
 	if err != nil {
-		status := http.StatusBadRequest
 		var pe *engine.PanicError
-		if errors.As(err, &pe) {
-			status = http.StatusInternalServerError
+		switch {
+		case errors.As(err, &pe):
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			s.writeSimError(w, err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
 		}
-		writeError(w, status, "%v", err)
 		return
 	}
 	if req.Format == "csv" {
