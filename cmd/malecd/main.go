@@ -12,7 +12,16 @@
 //	    localhost:8080/v1/run
 //	curl -d '{"configs":["Base1ldst","MALEC"],"benchmarks":["gzip","mcf"],"format":"csv"}' \
 //	    localhost:8080/v1/sweep
+//	curl -d '{"configs":["MALEC"],"benchmarks":["gzip"]}' localhost:8080/v1/campaigns
+//	curl localhost:8080/v1/campaigns/<id>/results        # NDJSON stream, resumable
 //	curl localhost:8080/metrics
+//
+// With -cache-dir set, campaigns submitted via /v1/campaigns are durable:
+// each journals its progress under <cache-dir>/v1/campaigns/<id>, and on
+// restart malecd replays the journals — completed campaigns keep serving
+// their exports, interrupted ones resume without recomputing any
+// completed point. -journal-retention and -corrupt-retention bound how
+// long finished journals and .corrupt quarantine files are kept.
 //
 // GET /metrics serves the Prometheus text exposition: per-endpoint
 // request counters, in-flight gauges and latency histograms plus the
@@ -35,6 +44,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -61,6 +71,10 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 256, "admission queue depth beyond -max-concurrent; excess shed with 429 + Retry-After")
 		queueWait  = flag.Duration("queue-wait", 5*time.Second, "max time a request may wait in the admission queue before being shed")
 		perClient  = flag.Int("per-client", 32, "concurrent simulation-bearing requests per client (X-API-Key or remote address; 0 = unbounded)")
+		maxCamps   = flag.Int("max-campaigns", 8, "concurrently running durable campaigns; excess submissions shed with 429")
+		campRetry  = flag.Int("campaign-retries", 2, "default per-job retry bound for durable campaigns")
+		journalRet = flag.Duration("journal-retention", 7*24*time.Hour, "age past which completed campaign journals are pruned at startup (0 = keep forever)")
+		corruptRet = flag.Duration("corrupt-retention", 7*24*time.Hour, "age past which .corrupt quarantine files are pruned at startup (0 = keep forever)")
 	)
 	flag.Parse()
 
@@ -81,6 +95,36 @@ func main() {
 	case concurrent < 0:
 		concurrent = 0
 	}
+	// Startup hygiene before serving: sweep aged .corrupt quarantine
+	// files, prune expired campaign journals, then replay the survivors —
+	// completed campaigns re-register for status/export serving, unfinished
+	// ones (a previous process crashed or was killed mid-campaign) resume
+	// where their journal left off, pulling completed points from the
+	// result store instead of recomputing them.
+	if pruned := eng.PruneCorrupt(*corruptRet); pruned > 0 {
+		log.Printf("malecd pruned %d .corrupt quarantine files older than %v", pruned, *corruptRet)
+	}
+	var journalDir string
+	if *cacheDir != "" {
+		journalDir = filepath.Join(*cacheDir, "v1", "campaigns")
+	}
+	mgr := engine.NewCampaignManager(eng, engine.CampaignManagerOptions{
+		Dir:            journalDir,
+		MaxActive:      *maxCamps,
+		DefaultRetries: *campRetry,
+	})
+	if journalDir != "" {
+		if pruned := mgr.PruneJournals(*journalRet); pruned > 0 {
+			log.Printf("malecd pruned %d campaign journals older than %v", pruned, *journalRet)
+		}
+		completed, resumed, err := mgr.Replay()
+		if err != nil {
+			log.Printf("malecd journal replay: %v", err)
+		}
+		if completed > 0 || resumed > 0 {
+			log.Printf("malecd replayed campaign journals: %d completed, %d resumed", completed, resumed)
+		}
+	}
 	api := server.New(eng, server.Options{
 		MaxInstructions:      *maxInstr,
 		MaxSweepJobs:         *maxJobs,
@@ -89,6 +133,7 @@ func main() {
 		MaxQueueDepth:        *maxQueue,
 		MaxQueueWait:         *queueWait,
 		PerClientConcurrency: *perClient,
+		Campaigns:            mgr,
 	})
 	if fp := faultinject.Active(); len(fp) > 0 {
 		log.Printf("malecd FAULT INJECTION ARMED: %v", fp)

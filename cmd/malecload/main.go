@@ -20,7 +20,11 @@
 //	sweep  a small fixed /v1/sweep campaign — cache-hit dominated after
 //	       the first response, measuring the campaign/export path;
 //	run    /v1/run with a fresh seed per request — every request is a
-//	       real simulation, measuring the engine under simulate load.
+//	       real simulation, measuring the engine under simulate load;
+//	stream resume a shared durable campaign's NDJSON results stream from
+//	       the last cursor seen, read a few records, and deliberately
+//	       disconnect — the churn of a streaming client on flaky
+//	       connectivity, measuring the campaign resume path.
 //
 // e.g. -mix hit=8,run=2 offers 80% cache hits and 20% fresh
 // simulations. The generator is open-loop: arrivals are scheduled by
@@ -34,6 +38,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -57,9 +62,10 @@ const (
 	kindHit reqKind = iota
 	kindRun
 	kindSweep
+	kindStream
 )
 
-var kindNames = map[string]reqKind{"hit": kindHit, "run": kindRun, "sweep": kindSweep}
+var kindNames = map[string]reqKind{"hit": kindHit, "run": kindRun, "sweep": kindSweep, "stream": kindStream}
 
 func (k reqKind) String() string {
 	switch k {
@@ -67,6 +73,8 @@ func (k reqKind) String() string {
 		return "hit"
 	case kindRun:
 		return "run"
+	case kindStream:
+		return "stream"
 	}
 	return "sweep"
 }
@@ -86,19 +94,48 @@ type generator struct {
 	// 0 (the default) keeps the generator strictly open-loop: a shed is a
 	// shed, counted and done.
 	retries int
+	// The stream population shares one lazily created campaign and a
+	// resume cursor: each request resumes the results stream at the
+	// cursor, reads a few records, deliberately disconnects, and leaves
+	// the cursor where the next request should pick up — the churn of a
+	// realistic streaming client under flaky connectivity.
+	streamOnce   sync.Once
+	campaignID   atomic.Value // string
+	streamCursor atomic.Uint64
 }
 
 // backoffCap bounds one retry sleep, whatever Retry-After claims, so a
 // drain hint cannot stall a load slot for its full duration.
 const backoffCap = 5 * time.Second
 
+// parseRetryAfter interprets a Retry-After value, which arrives as either
+// a second count (fractional from some proxies, though the RFC says
+// integer) or an HTTP-date. Absent or unparsable values return 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs * float64(time.Second))
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // backoff computes the sleep before retry number attempt (0-based): the
 // server's Retry-After when it sent one, else 100ms doubling per attempt,
 // both with up to 50% added jitter so synchronized clients decorrelate.
 func backoff(attempt int, retryAfter string) time.Duration {
 	d := 100 * time.Millisecond << attempt
-	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
-		d = time.Duration(secs) * time.Second
+	if ra := parseRetryAfter(retryAfter); ra > 0 {
+		d = ra
 	}
 	if d > backoffCap {
 		d = backoffCap
@@ -143,10 +180,94 @@ func (g *generator) body(kind reqKind) (path, payload string) {
 	}
 }
 
+// streamCampaign lazily submits the small shared campaign the stream
+// population follows, returning its handle.
+func (g *generator) streamCampaign() (string, bool) {
+	g.streamOnce.Do(func() {
+		payload := fmt.Sprintf(
+			`{"configs":["Base1ldst","MALEC"],"benchmarks":["gzip"],"instructions":%d,"seeds":[1,2]}`,
+			g.instructions)
+		resp, err := g.client.Post(g.base+"/v1/campaigns", "application/json", strings.NewReader(payload))
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+			return
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&st) == nil && st.ID != "" {
+			g.campaignID.Store(st.ID)
+		}
+	})
+	id, _ := g.campaignID.Load().(string)
+	return id, id != ""
+}
+
+// doStream performs one stream-population request: resume the shared
+// campaign's NDJSON results stream from the population's cursor, read a
+// few records, then deliberately hang up. The next request resumes with
+// ?after= where this one left off — exercising exactly the
+// disconnect/resume path the campaign API guarantees.
+func (g *generator) doStream() outcome {
+	t0 := time.Now()
+	var out outcome
+	id, ok := g.streamCampaign()
+	if !ok {
+		out.lat = time.Since(t0)
+		return out
+	}
+	resp, err := g.client.Get(fmt.Sprintf("%s/v1/campaigns/%s/results?after=%d",
+		g.base, id, g.streamCursor.Load()))
+	if err != nil {
+		out.lat = time.Since(t0)
+		return out
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+		out.lat = time.Since(t0)
+		return out
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for lines := 0; lines < 4 && sc.Scan(); lines++ {
+		var line struct {
+			Seq  uint64 `json:"seq"`
+			Done bool   `json:"done"`
+		}
+		if json.Unmarshal(sc.Bytes(), &line) != nil {
+			out.lat = time.Since(t0)
+			return out
+		}
+		// Publish the furthest cursor seen so the next stream request
+		// resumes past it (concurrent streams race; max wins).
+		for line.Seq > 0 {
+			cur := g.streamCursor.Load()
+			if line.Seq <= cur || g.streamCursor.CompareAndSwap(cur, line.Seq) {
+				break
+			}
+		}
+		if line.Done {
+			g.streamCursor.Store(0) // re-stream from the top next time
+			break
+		}
+	}
+	// Returning closes the body mid-stream: the deliberate disconnect.
+	out.ok = true
+	out.lat = time.Since(t0)
+	return out
+}
+
 // do performs one request (plus up to g.retries backed-off retries after
 // shed responses), returning its outcome. Latency covers the whole
 // attempt chain — what the caller actually waited.
 func (g *generator) do(kind reqKind) outcome {
+	if kind == kindStream {
+		return g.doStream()
+	}
 	path, payload := g.body(kind)
 	t0 := time.Now()
 	var out outcome
@@ -195,6 +316,9 @@ type slotReport struct {
 	// attempts consumed (both 0 unless -retries > 0 for the latter).
 	Shed    int `json:"shed"`
 	Retries int `json:"retries"`
+	// MaxRetryDepth is the deepest retry chain any single request needed
+	// this slot — chaos runs assert on it to prove backoff engaged.
+	MaxRetryDepth int `json:"max_retry_depth"`
 	// DrainSec is how long after the slot ended the last in-flight
 	// request took to complete. A healthy slot drains in ~one request
 	// latency; a large drain means the slot left a backlog behind.
@@ -218,13 +342,14 @@ type slotReport struct {
 func (g *generator) runSlot(slot int, rps float64, d time.Duration) slotReport {
 	interval := time.Duration(float64(time.Second) / rps)
 	var (
-		mu      sync.Mutex
-		latNs   []int64
-		errors  int
-		dropped int
-		shed    int
-		retries int
-		wg      sync.WaitGroup
+		mu       sync.Mutex
+		latNs    []int64
+		errors   int
+		dropped  int
+		shed     int
+		retries  int
+		maxDepth int
+		wg       sync.WaitGroup
 	)
 	launched := 0
 	start := time.Now()
@@ -255,6 +380,9 @@ func (g *generator) runSlot(slot int, rps float64, d time.Duration) slotReport {
 			}
 			shed += out.shed
 			retries += out.retries
+			if out.retries > maxDepth {
+				maxDepth = out.retries
+			}
 			mu.Unlock()
 		}(kind)
 	}
@@ -262,17 +390,18 @@ func (g *generator) runSlot(slot int, rps float64, d time.Duration) slotReport {
 	elapsed := time.Since(start)
 
 	rep := slotReport{
-		Slot:        slot,
-		OfferedRPS:  rps,
-		DurationSec: d.Seconds(),
-		Launched:    launched,
-		Succeeded:   len(latNs),
-		Errors:      errors,
-		Dropped:     dropped,
-		Shed:        shed,
-		Retries:     retries,
-		DrainSec:    (elapsed - d).Seconds(),
-		AchievedRPS: float64(len(latNs)) / elapsed.Seconds(),
+		Slot:          slot,
+		OfferedRPS:    rps,
+		DurationSec:   d.Seconds(),
+		Launched:      launched,
+		Succeeded:     len(latNs),
+		Errors:        errors,
+		Dropped:       dropped,
+		Shed:          shed,
+		Retries:       retries,
+		MaxRetryDepth: maxDepth,
+		DrainSec:      (elapsed - d).Seconds(),
+		AchievedRPS:   float64(len(latNs)) / elapsed.Seconds(),
 	}
 	if launched > 0 {
 		rep.ErrorRate = float64(errors+dropped) / float64(launched)
@@ -349,7 +478,7 @@ func parseMix(spec string) (map[string]int, []reqKind, error) {
 		}
 		kind, ok := kindNames[name]
 		if !ok {
-			return nil, nil, fmt.Errorf("unknown population %q (hit, run, sweep)", name)
+			return nil, nil, fmt.Errorf("unknown population %q (hit, run, sweep, stream)", name)
 		}
 		if _, dup := weights[name]; dup {
 			return nil, nil, fmt.Errorf("population %q listed twice", name)
@@ -376,7 +505,7 @@ func run() int {
 		targetRPS = flag.Float64("target-rps", 500, "final RPS in sweep mode; burst height; saturation-search upper bound")
 		slotDur   = flag.Duration("slot", 5*time.Second, "duration of each RPS slot")
 		slots     = flag.Int("slots", 4, "slot count in fixed and burst modes")
-		mixSpec   = flag.String("mix", "hit", "weighted request mix, e.g. hit=8,run=2,sweep=1")
+		mixSpec   = flag.String("mix", "hit", "weighted request mix, e.g. hit=8,run=2,sweep=1,stream=1")
 		instr     = flag.Int("instructions", 50000, "instructions per requested simulation point")
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout (a timed-out request is an error)")
 		maxInfl   = flag.Int("max-inflight", 1024, "in-flight request cap; arrivals beyond it are dropped (counted as errors)")

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		in       string
+		min, max time.Duration
+	}{
+		{"", 0, 0},
+		{"2", 2 * time.Second, 2 * time.Second},
+		{"0.5", 500 * time.Millisecond, 500 * time.Millisecond},
+		{"-3", 0, 0},
+		{"0", 0, 0},
+		{"soon", 0, 0},
+		// HTTP-date: a future date yields roughly the remaining interval, a
+		// past date yields 0 rather than a negative sleep.
+		{now.Add(3 * time.Second).UTC().Format(http.TimeFormat), 1 * time.Second, 3 * time.Second},
+		{now.Add(-time.Hour).UTC().Format(http.TimeFormat), 0, 0},
+	}
+	for _, tc := range cases {
+		got := parseRetryAfter(tc.in)
+		if got < tc.min || got > tc.max {
+			t.Errorf("parseRetryAfter(%q) = %v, want in [%v, %v]", tc.in, got, tc.min, tc.max)
+		}
+	}
+}
+
+func TestParseMixStream(t *testing.T) {
+	weights, schedule, err := parseMix("hit=2,stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weights["stream"] != 1 || len(schedule) != 3 {
+		t.Fatalf("weights=%v schedule len=%d", weights, len(schedule))
+	}
+	streams := 0
+	for _, k := range schedule {
+		if k == kindStream {
+			streams++
+		}
+	}
+	if streams != 1 {
+		t.Fatalf("schedule has %d stream slots, want 1", streams)
+	}
+	if _, _, err := parseMix("stream=0"); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, _, err := parseMix("teapot=1"); err == nil {
+		t.Fatal("unknown population accepted")
+	}
+}

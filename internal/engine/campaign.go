@@ -10,6 +10,7 @@ import (
 	"io"
 	"strconv"
 	"sync"
+	"time"
 
 	"malec/internal/config"
 	"malec/internal/cpu"
@@ -31,6 +32,11 @@ type CampaignSpec struct {
 	// the engine's worker bound). The engine's own bound still applies to
 	// actual simulations.
 	Workers int
+	// Retries bounds how many times one job is re-attempted (with
+	// exponential backoff) after a transient failure — a contained
+	// simulation panic, e.g. an injected fault — before the job is
+	// declared failed. 0 disables retries; negative is treated as 0.
+	Retries int
 	// Progress, if set, is called after each job completes with the
 	// number of finished jobs, the total, and the finished job.
 	// Invocations are serialized.
@@ -77,11 +83,15 @@ type Job struct {
 }
 
 // JobResult pairs a job with its simulation result and the source it was
-// served from.
+// served from. In a durable campaign's export a job that exhausted its
+// retries instead carries Error (and a zero Result); synchronous
+// RunCampaign never produces error rows — it aborts on the first final
+// failure.
 type JobResult struct {
 	Job
-	Source Source     `json:"source"`
+	Source Source     `json:"source,omitempty"`
 	Result cpu.Result `json:"result"`
+	Error  string     `json:"error,omitempty"`
 }
 
 // Campaign holds the results of one campaign run, in expansion order.
@@ -139,8 +149,9 @@ func (e *Engine) RunCampaign(spec CampaignSpec) (*Campaign, error) {
 // RunCampaignContext is RunCampaign with cancellation: once ctx is
 // cancelled, no further jobs are fed, in-flight points stop at their next
 // cancellation check, and the context's error is returned. Simulation
-// panics are still contained per job (the remaining jobs run to
-// completion) and surface as *PanicError.
+// panics are retried up to spec.Retries times per job with exponential
+// backoff; a job that exhausts its retries surfaces as *PanicError (the
+// remaining jobs still run to completion).
 func (e *Engine) RunCampaignContext(ctx context.Context, spec CampaignSpec) (*Campaign, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -151,32 +162,101 @@ func (e *Engine) RunCampaignContext(ctx context.Context, spec CampaignSpec) (*Ca
 	}
 	jobs := spec.expand()
 	results := make([]JobResult, len(jobs))
-
 	var (
-		wg         sync.WaitGroup
-		progressMu sync.Mutex
-		done       int
-		errMu      sync.Mutex
-		firstErr   error
+		done     int
+		firstErr error
 	)
-	runOne := func(j Job) (jr JobResult, err error) {
+	e.runJobs(ctx, jobs, spec.Workers, spec.Retries,
+		func(jr JobResult, attempts int, err error) {
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			results[jr.Index] = jr
+			if spec.Progress != nil {
+				done++
+				spec.Progress(done, len(jobs), jr.Job)
+			}
+		})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Campaign{Spec: spec, Results: results}, nil
+}
+
+// jobBackoff is the sleep before retry number attempt (0-based):
+// 50ms doubling per attempt, capped at 2s.
+func jobBackoff(attempt int) time.Duration {
+	d := 50 * time.Millisecond << attempt
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// runJobs executes an arbitrary job list through the engine with bounded
+// worker parallelism and bounded per-job retries. onDone is invoked
+// exactly once per job — serialized, in completion order — with the
+// result (err == nil), the job's final error, or the cancellation error
+// for jobs cut off mid-flight; attempts counts the retries the job
+// consumed. The feed groups jobs by (benchmark, seed) so every
+// configuration sharing one workload runs back to back and the
+// materialized-trace cache holds only the traces currently in flight;
+// completion order is still nondeterministic, which is why results carry
+// their own campaign Index.
+func (e *Engine) runJobs(ctx context.Context, jobs []Job, workers, retries int, onDone func(jr JobResult, attempts int, err error)) {
+	if retries < 0 {
+		retries = 0
+	}
+	runOne := func(j Job) (jr JobResult, attempts int, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = &PanicError{Job: j, Value: r}
 			}
 		}()
-		res, src, err := e.RunContext(ctx, j.Config, j.Benchmark, j.Instructions, j.Seed)
-		if err != nil {
+		for attempt := 0; ; attempt++ {
+			res, src, err := e.RunContext(ctx, j.Config, j.Benchmark, j.Instructions, j.Seed)
+			if err == nil {
+				return JobResult{Job: j, Source: src, Result: res}, attempt, nil
+			}
+			if isCancellation(err) {
+				return JobResult{Job: j}, attempt, err
+			}
 			var pe *SimPanicError
 			if errors.As(err, &pe) {
-				return JobResult{}, &PanicError{Job: j, Value: pe.Value}
+				err = &PanicError{Job: j, Value: pe.Value}
 			}
-			return JobResult{}, err
+			if attempt >= retries {
+				return JobResult{Job: j}, attempt, err
+			}
+			// The engine quarantined the panicked key; forget it so the
+			// retry actually re-runs the point instead of failing fast on
+			// the cached poison — transient faults (chaos injection, an
+			// OOM-killed helper) deserve their second chance, while a
+			// deterministic model bug just fails again and exhausts the
+			// bound.
+			e.ForgetPoisoned(j.Key)
+			select {
+			case <-time.After(jobBackoff(attempt)):
+			case <-ctx.Done():
+				return JobResult{Job: j}, attempt, ctx.Err()
+			}
 		}
-		return JobResult{Job: j, Source: src, Result: res}, nil
 	}
+
+	var (
+		wg     sync.WaitGroup
+		doneMu sync.Mutex
+	)
 	idx := make(chan int)
-	workers := spec.Workers
+	if workers <= 0 {
+		workers = cap(e.sem)
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -185,54 +265,43 @@ func (e *Engine) RunCampaignContext(ctx context.Context, spec CampaignSpec) (*Ca
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				jr, err := runOne(jobs[i])
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					continue
-				}
-				results[i] = jr
-				if spec.Progress != nil {
-					progressMu.Lock()
-					done++
-					spec.Progress(done, len(jobs), jobs[i])
-					progressMu.Unlock()
-				}
+				jr, attempts, err := runOne(jobs[i])
+				doneMu.Lock()
+				onDone(jr, attempts, err)
+				doneMu.Unlock()
 			}
 		}()
 	}
-	// Feed jobs grouped by (benchmark, seed) rather than in expansion
-	// order: every configuration sharing one workload runs back to back,
-	// so the engine's materialized-trace cache only ever needs to hold
-	// the few traces currently in flight (reuse distance = the config
-	// count, not the whole benchmark grid). The exported result order is
-	// unaffected — workers write into pre-assigned slots — and with equal
-	// keys results are byte-identical regardless of execution order.
-	nc, nb, ns := len(spec.Configs), len(spec.Benchmarks), len(spec.Seeds)
+	// Feed jobs grouped by (benchmark, seed): every configuration sharing
+	// one workload runs back to back, so the trace cache's reuse distance
+	// is the config count, not the whole grid. Buckets keep first-seen
+	// order (the deterministic expansion order), so full grids feed
+	// exactly as before.
+	type workload struct {
+		bench string
+		seed  uint64
+	}
+	var order []workload
+	buckets := make(map[workload][]int)
+	for i, j := range jobs {
+		w := workload{j.Benchmark, j.Seed}
+		if _, ok := buckets[w]; !ok {
+			order = append(order, w)
+		}
+		buckets[w] = append(buckets[w], i)
+	}
 feed:
-	for b := 0; b < nb; b++ {
-		for s := 0; s < ns; s++ {
-			for c := 0; c < nc; c++ {
-				select {
-				case idx <- c*nb*ns + b*ns + s:
-				case <-ctx.Done():
-					break feed
-				}
+	for _, w := range order {
+		for _, i := range buckets[w] {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				break feed
 			}
 		}
 	}
 	close(idx)
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return &Campaign{Spec: spec, Results: results}, nil
 }
 
 // Result returns the result for (configName, benchmark, seed), if present.

@@ -67,6 +67,11 @@ type Options struct {
 	// Checkpoints persist to disk alongside results when CacheDir is set;
 	// they only apply to sampled simulations (Config.Sampling != nil).
 	CheckpointEntries int
+	// MaxPoisonedKeys bounds the poisoned-key quarantine map; when full,
+	// the oldest poisoned key is forgotten (FIFO), so panic churn cannot
+	// grow the map without limit. Zero selects DefaultMaxPoisonedKeys;
+	// negative disables the bound.
+	MaxPoisonedKeys int
 	// TraceCacheRecords bounds the engine's materialized-trace cache in
 	// total trace records (not bytes): the engine generates each
 	// (benchmark, seed) workload once per campaign and shares the flat
@@ -83,6 +88,12 @@ type Options struct {
 	// Simulate.
 	SimulateContext SimulateContextFunc
 }
+
+// DefaultMaxPoisonedKeys is the default poisoned-key quarantine bound.
+// A thousand distinct panicking points means something systemic, not a
+// per-key record worth keeping; FIFO eviction past the bound keeps the
+// map a fixed-size incident log.
+const DefaultMaxPoisonedKeys = 1024
 
 // DefaultTraceCacheRecords is the default materialized-trace cache bound:
 // 8M records (~200 MB of trace arena) holds the in-flight working set of
@@ -157,6 +168,12 @@ type Stats struct {
 	// never re-run hot) plus corrupt disk-store and checkpoint entries
 	// renamed aside with a .corrupt suffix.
 	Quarantined uint64 `json:"quarantined"`
+	// PoisonedKeys is the current poisoned-map size (a gauge, bounded by
+	// Options.MaxPoisonedKeys).
+	PoisonedKeys int `json:"poisonedKeys"`
+	// CorruptPruned counts .corrupt quarantine files removed by retention
+	// sweeps (PruneCorrupt).
+	CorruptPruned uint64 `json:"corruptPruned"`
 }
 
 // Lookups returns the total number of requests the engine has served.
@@ -209,13 +226,18 @@ type Engine struct {
 	// filesQuarantined counts corrupt result-store entries renamed aside
 	// (outside e.mu: loadDisk runs on the job path).
 	filesQuarantined atomic.Uint64
+	// corruptPruned counts .corrupt files removed by PruneCorrupt sweeps.
+	corruptPruned atomic.Uint64
 
-	mu       sync.Mutex
-	cache    map[Key]cpu.Result
-	order    []Key // cache insertion order, for FIFO eviction
-	inflight map[Key]*call
-	poisoned map[Key]error // keys whose simulation panicked, never re-run
-	stats    Stats
+	maxPoisoned int // poisoned-map bound (<= 0: unbounded)
+
+	mu          sync.Mutex
+	cache       map[Key]cpu.Result
+	order       []Key // cache insertion order, for FIFO eviction
+	inflight    map[Key]*call
+	poisoned    map[Key]error // keys whose simulation panicked, never re-run
+	poisonOrder []Key         // poisoning order, for FIFO eviction
+	stats       Stats
 }
 
 // New returns an Engine with the given options.
@@ -223,13 +245,17 @@ func New(opts Options) *Engine {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.MaxPoisonedKeys == 0 {
+		opts.MaxPoisonedKeys = DefaultMaxPoisonedKeys
+	}
 	e := &Engine{
-		cacheDir:   opts.CacheDir,
-		maxEntries: opts.MaxCacheEntries,
-		sem:        make(chan struct{}, opts.Workers),
-		cache:      make(map[Key]cpu.Result),
-		inflight:   make(map[Key]*call),
-		poisoned:   make(map[Key]error),
+		cacheDir:    opts.CacheDir,
+		maxEntries:  opts.MaxCacheEntries,
+		sem:         make(chan struct{}, opts.Workers),
+		cache:       make(map[Key]cpu.Result),
+		inflight:    make(map[Key]*call),
+		poisoned:    make(map[Key]error),
+		maxPoisoned: opts.MaxPoisonedKeys,
 	}
 	e.simulate = opts.SimulateContext
 	if e.simulate == nil && opts.Simulate != nil {
@@ -423,7 +449,7 @@ func (e *Engine) runJob(ctx context.Context, c *call, key Key, cfg config.Config
 	default:
 		e.stats.Panics++
 		e.stats.Quarantined++
-		e.poisoned[key] = err
+		e.poison(key, err)
 	}
 	c.res, c.src, c.err = res, src, err
 	e.mu.Unlock()
@@ -488,6 +514,70 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// poison quarantines a key whose simulation panicked, evicting the oldest
+// poisoned key past the bound. Caller holds e.mu.
+func (e *Engine) poison(key Key, err error) {
+	if _, ok := e.poisoned[key]; !ok {
+		e.poisonOrder = append(e.poisonOrder, key)
+	}
+	e.poisoned[key] = err
+	if e.maxPoisoned <= 0 {
+		return
+	}
+	for len(e.poisoned) > e.maxPoisoned {
+		oldest := e.poisonOrder[0]
+		e.poisonOrder = e.poisonOrder[1:]
+		delete(e.poisoned, oldest)
+	}
+}
+
+// ForgetPoisoned lifts a key's quarantine so the next request re-runs it —
+// the escape hatch retry logic needs when a panic was transient (an
+// injected fault, a since-fixed environmental problem). Reports whether
+// the key was quarantined.
+func (e *Engine) ForgetPoisoned(key Key) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.poisoned[key]; !ok {
+		return false
+	}
+	delete(e.poisoned, key)
+	for i, k := range e.poisonOrder {
+		if k == key {
+			e.poisonOrder = append(e.poisonOrder[:i], e.poisonOrder[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// PruneCorrupt removes .corrupt quarantine files under the cache dir older
+// than maxAge (0 keeps everything), returning how many were removed. The
+// files exist for post-mortems; a retention sweep at startup keeps them
+// from accumulating forever.
+func (e *Engine) PruneCorrupt(maxAge time.Duration) int {
+	if e.cacheDir == "" || maxAge <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-maxAge)
+	pruned := 0
+	filepath.WalkDir(e.cacheDir, func(path string, d os.DirEntry, err error) error { //nolint:errcheck // best-effort sweep
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".corrupt" {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			return nil
+		}
+		if os.Remove(path) == nil {
+			pruned++
+		}
+		return nil
+	})
+	e.corruptPruned.Add(uint64(pruned))
+	return pruned
+}
+
 // Cached returns the cached result for a key, if present in memory.
 func (e *Engine) Cached(key Key) (cpu.Result, bool) {
 	e.mu.Lock()
@@ -501,7 +591,9 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	s := e.stats
 	s.Entries = len(e.cache)
+	s.PoisonedKeys = len(e.poisoned)
 	e.mu.Unlock()
+	s.CorruptPruned = e.corruptPruned.Load()
 	s.QueueDepth = int(e.queued.Load())
 	s.Running = int(e.running.Load())
 	if e.traces != nil {

@@ -14,6 +14,8 @@
 //	MALEC_FAULT_SIM_PANIC=0.05   5% of simulations panic in the worker
 //	MALEC_FAULT_SIM_LATENCY=0.2  20% of simulations sleep an injected delay
 //	MALEC_FAULT_SIM_LATENCY_MS=50  the injected delay (default 25ms)
+//	MALEC_FAULT_JOURNAL_WRITE=0.1  10% of campaign-journal appends are dropped
+//	MALEC_FAULT_JOURNAL_TORN=0.1   10% of campaign-journal appends are torn mid-line
 //
 // Decisions are drawn from a per-point deterministic counter-mode generator,
 // so a fault schedule replays identically run to run; tests arm points
@@ -66,10 +68,16 @@ var (
 	// SimLatency sleeps Latency() inside an engine worker before the
 	// simulation runs, exercising deadlines and queue backpressure.
 	SimLatency = newPoint("sim_latency", "MALEC_FAULT_SIM_LATENCY")
+	// JournalWrite drops a campaign-journal append entirely (the point is
+	// re-admitted from the result store after a restart).
+	JournalWrite = newPoint("journal_write", "MALEC_FAULT_JOURNAL_WRITE")
+	// JournalTorn truncates a campaign-journal append mid-line, simulating
+	// a crash between write and fsync; replay truncates the torn tail.
+	JournalTorn = newPoint("journal_torn", "MALEC_FAULT_JOURNAL_TORN")
 )
 
 // points lists every registered failpoint, for Active and Reload.
-var points = []*Point{DiskRead, DiskWrite, DiskCorrupt, CkptCorrupt, SimPanic, SimLatency}
+var points = []*Point{DiskRead, DiskWrite, DiskCorrupt, CkptCorrupt, SimPanic, SimLatency, JournalWrite, JournalTorn}
 
 // latencyMs holds the injected delay in milliseconds (SimLatency point).
 var latencyMs atomic.Int64

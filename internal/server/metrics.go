@@ -86,12 +86,31 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (campaign
+// NDJSON results) still reach the wire through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // handle registers an instrumented route on the mux: in-flight gauge
 // around the handler, latency observed on completion, status class
-// counted from the recorded code.
+// counted from the recorded code. Methods sharing one route pattern
+// (GET/DELETE /v1/campaigns/{id}) share one instrument set — the
+// endpoint label stays the route, bounding metric cardinality.
 func (s *Server) handle(method, route string, h http.HandlerFunc) {
-	ep := newEndpointMetrics(s.reg, route)
-	s.endpoints = append(s.endpoints, routeMetrics{route: route, m: ep})
+	var ep *endpointMetrics
+	for _, e := range s.endpoints {
+		if e.route == route {
+			ep = e.m
+			break
+		}
+	}
+	if ep == nil {
+		ep = newEndpointMetrics(s.reg, route)
+		s.endpoints = append(s.endpoints, routeMetrics{route: route, m: ep})
+	}
 	s.mux.HandleFunc(method+" "+route, func(w http.ResponseWriter, r *http.Request) {
 		ep.inFlight.Inc()
 		defer ep.inFlight.Dec()
@@ -162,6 +181,12 @@ func (s *Server) registerEngineMetrics() {
 	counter("malec_engine_quarantined_total",
 		"Poisoned keys plus corrupt store entries quarantined aside.",
 		func() uint64 { return st.Quarantined })
+	counter("malec_engine_corrupt_pruned_total",
+		".corrupt quarantine files removed by retention sweeps.",
+		func() uint64 { return st.CorruptPruned })
+	gauge("malec_engine_poisoned_keys",
+		"Keys currently quarantined after a simulation panic.",
+		func() int { return st.PoisonedKeys })
 	gauge("malec_engine_cache_entries",
 		"Current in-memory result cache size.",
 		func() int { return st.Entries })
@@ -177,6 +202,34 @@ func (s *Server) registerEngineMetrics() {
 	s.reg.GaugeFunc("malecd_uptime_seconds",
 		"Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+}
+
+// registerCampaignMetrics re-exports the campaign manager's counters,
+// refreshed as one coherent snapshot per scrape like the engine's.
+func (s *Server) registerCampaignMetrics() {
+	var st engine.CampaignManagerStats
+	s.reg.OnScrape(func() { st = s.camps.Stats() })
+	s.reg.GaugeFunc("malec_campaigns_active",
+		"Campaigns currently running.",
+		func() float64 { return float64(st.Active) })
+	s.reg.GaugeFunc("malec_campaigns_known",
+		"Campaigns registered (running + finished).",
+		func() float64 { return float64(st.Campaigns) })
+	s.reg.CounterFunc("malec_campaign_retries_total",
+		"Per-job retry attempts across all campaigns.",
+		func() float64 { return float64(st.Retries) })
+	s.reg.CounterFunc("malec_campaign_failed_points_total",
+		"Campaign jobs that exhausted their retries.",
+		func() float64 { return float64(st.FailedPoints) })
+	s.reg.CounterFunc("malec_campaign_replayed_points_total",
+		"Journaled points re-admitted at startup without recomputation.",
+		func() float64 { return float64(st.ReplayedPoints) })
+	s.reg.CounterFunc("malec_campaign_journal_torn_total",
+		"Torn/corrupt journal tail bytes truncated during replay.",
+		func() float64 { return float64(st.JournalTorn) })
+	s.reg.CounterFunc("malec_campaign_journals_pruned_total",
+		"Completed campaign journals removed by retention sweeps.",
+		func() float64 { return float64(st.JournalsPruned) })
 }
 
 // handleMetrics implements GET /metrics (Prometheus text exposition).

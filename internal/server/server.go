@@ -67,6 +67,14 @@ type Options struct {
 	// sweep burst cannot starve everyone else's interactive traffic. Zero
 	// disables.
 	PerClientConcurrency int
+	// Campaigns serves the durable-campaign routes (/v1/campaigns). Nil
+	// creates an in-memory manager over the engine: asynchronous and
+	// streamable, but not crash-durable (malecd wires a journaled one).
+	Campaigns *engine.CampaignManager
+	// StreamHeartbeat is the idle interval after which a campaign results
+	// stream emits a heartbeat line, keeping intermediaries from timing
+	// out a quiet long-poll (default 10s).
+	StreamHeartbeat time.Duration
 }
 
 // normalize applies option defaults.
@@ -85,6 +93,9 @@ func (o Options) normalize() Options {
 			o.MaxQueueWait = 5 * time.Second
 		}
 	}
+	if o.StreamHeartbeat <= 0 {
+		o.StreamHeartbeat = 10 * time.Second
+	}
 	return o
 }
 
@@ -92,6 +103,7 @@ func (o Options) normalize() Options {
 type Server struct {
 	eng   *engine.Engine
 	opts  Options
+	camps *engine.CampaignManager
 	mux   *http.ServeMux
 	reg   *metrics.Registry
 	start time.Time
@@ -118,6 +130,10 @@ func New(eng *engine.Engine, opts Options) *Server {
 		reg:   metrics.NewRegistry(),
 		start: time.Now(),
 	}
+	s.camps = s.opts.Campaigns
+	if s.camps == nil {
+		s.camps = engine.NewCampaignManager(eng, engine.CampaignManagerOptions{})
+	}
 	s.adm = newAdmission(s.opts, s.reg)
 	s.timeouts = s.reg.Counter("malecd_timeouts_total",
 		"Simulation-bearing requests cancelled at their deadline.")
@@ -129,7 +145,13 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.handle("GET", "/v1/stats", s.handleStats)
 	s.handle("POST", "/v1/run", s.handleRun)
 	s.handle("POST", "/v1/sweep", s.handleSweep)
+	s.handle("POST", "/v1/campaigns", s.handleCampaignCreate)
+	s.handle("GET", "/v1/campaigns", s.handleCampaignList)
+	s.handle("GET", "/v1/campaigns/{id}", s.handleCampaignStatus)
+	s.handle("GET", "/v1/campaigns/{id}/results", s.handleCampaignResults)
+	s.handle("DELETE", "/v1/campaigns/{id}", s.handleCampaignCancel)
 	s.registerEngineMetrics()
+	s.registerCampaignMetrics()
 	// The handler is fully wired over a constructed engine; readiness
 	// from here on is a question of drain state.
 	s.ready.Store(true)
@@ -378,22 +400,70 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// sweepRequest is the POST /v1/sweep body.
-type sweepRequest struct {
+// gridRequest is the config x benchmark x seed grid shared by the sweep
+// and campaign request bodies.
+type gridRequest struct {
 	Configs      []string `json:"configs"`
 	Benchmarks   []string `json:"benchmarks"`
 	Instructions int      `json:"instructions"`
 	Seeds        []uint64 `json:"seeds"`
+	// Sampling, when present, runs every point of the grid on the
+	// sampled fast path — the quality tier for large grids: core-side
+	// config variants share warmed checkpoints, so only the first config
+	// per (benchmark, seed) pays the functional-warming pass.
+	Sampling *config.Sampling `json:"sampling"`
+}
+
+// resolveGrid validates a grid against the registry and limits, returning
+// the resolved configs. req.Instructions is normalized in place to its
+// effective value (mirroring CampaignSpec.normalize), so the limit check
+// and the campaign spec can never disagree.
+func (s *Server) resolveGrid(req *gridRequest) ([]config.Config, error) {
+	if len(req.Configs) == 0 {
+		return nil, fmt.Errorf("configs is required (see /v1/configs)")
+	}
+	if err := validSampling(req.Sampling); err != nil {
+		return nil, err
+	}
+	cfgs := make([]config.Config, 0, len(req.Configs))
+	for _, name := range req.Configs {
+		cfg, ok := config.Named(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown config %q (see /v1/configs)", name)
+		}
+		cfg.Sampling = req.Sampling
+		cfgs = append(cfgs, cfg)
+	}
+	// Unknown benchmarks are rejected by CampaignSpec.normalize — no
+	// duplicate validation here, so the two can't drift.
+	if req.Instructions <= 0 {
+		req.Instructions = engine.DefaultInstructions
+	}
+	if req.Instructions > s.opts.MaxInstructions {
+		return nil, fmt.Errorf("instructions %d exceeds limit %d", req.Instructions, s.opts.MaxInstructions)
+	}
+	benchmarks := len(req.Benchmarks)
+	if benchmarks == 0 {
+		benchmarks = len(trace.AllBenchmarks())
+	}
+	seeds := len(req.Seeds)
+	if seeds == 0 {
+		seeds = 1
+	}
+	if jobs := len(cfgs) * benchmarks * seeds; jobs > s.opts.MaxSweepJobs {
+		return nil, fmt.Errorf("sweep expands to %d jobs, limit %d", jobs, s.opts.MaxSweepJobs)
+	}
+	return cfgs, nil
+}
+
+// sweepRequest is the POST /v1/sweep body.
+type sweepRequest struct {
+	gridRequest
 	// Format selects the response encoding: "json" (default) or "csv".
 	Format string `json:"format"`
 	// DeadlineMs bounds the whole sweep's processing time in
 	// milliseconds; see runRequest.DeadlineMs.
 	DeadlineMs int `json:"deadline_ms"`
-	// Sampling, when present, runs every point of the sweep on the
-	// sampled fast path — the quality tier for large grids: core-side
-	// config variants share warmed checkpoints, so only the first config
-	// per (benchmark, seed) pays the functional-warming pass.
-	Sampling *config.Sampling `json:"sampling"`
 }
 
 // handleSweep implements POST /v1/sweep.
@@ -407,45 +477,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !readBody(w, r, &req) {
 		return
 	}
-	if len(req.Configs) == 0 {
-		writeError(w, http.StatusBadRequest, "configs is required (see /v1/configs)")
-		return
-	}
-	if err := validSampling(req.Sampling); err != nil {
+	cfgs, err := s.resolveGrid(&req.gridRequest)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	cfgs := make([]config.Config, 0, len(req.Configs))
-	for _, name := range req.Configs {
-		cfg, ok := config.Named(name)
-		if !ok {
-			writeError(w, http.StatusBadRequest, "unknown config %q (see /v1/configs)", name)
-			return
-		}
-		cfg.Sampling = req.Sampling
-		cfgs = append(cfgs, cfg)
-	}
-	// Unknown benchmarks are rejected by CampaignSpec.normalize below —
-	// no duplicate validation here, so the two can't drift.
-	if req.Instructions <= 0 {
-		// Mirror CampaignSpec.normalize so the limit check below sees
-		// the effective value.
-		req.Instructions = engine.DefaultInstructions
-	}
-	if req.Instructions > s.opts.MaxInstructions {
-		writeError(w, http.StatusBadRequest, "instructions %d exceeds limit %d", req.Instructions, s.opts.MaxInstructions)
-		return
-	}
-	benchmarks := len(req.Benchmarks)
-	if benchmarks == 0 {
-		benchmarks = len(trace.AllBenchmarks())
-	}
-	seeds := len(req.Seeds)
-	if seeds == 0 {
-		seeds = 1
-	}
-	if jobs := len(cfgs) * benchmarks * seeds; jobs > s.opts.MaxSweepJobs {
-		writeError(w, http.StatusBadRequest, "sweep expands to %d jobs, limit %d", jobs, s.opts.MaxSweepJobs)
 		return
 	}
 	if req.Format != "" && req.Format != "json" && req.Format != "csv" {
