@@ -11,6 +11,7 @@
 //	malecload -mode sweep -start-rps 100 -step 100 -target-rps 800 # staircase
 //	malecload -mode burst -start-rps 50 -target-rps 1000 -slots 6  # alternate base/burst
 //	malecload -find-saturation -start-rps 100 -target-rps 20000    # max sustainable RPS
+//	malecload -targets http://n1:8080,http://n2:8080,http://n3:8080 # round-robin a cluster
 //
 // Requests are drawn from a weighted mix of populations (-mix):
 //
@@ -79,9 +80,24 @@ func (k reqKind) String() string {
 	return "sweep"
 }
 
-// generator owns the target, the client and the request mix.
+// targetStats accumulates one replica's request/error/latency split, so a
+// multi-target run shows whether load and tail latency spread evenly
+// across the cluster or one replica is dragging.
+type targetStats struct {
+	mu       sync.Mutex
+	requests int
+	errors   int
+	latNs    []int64
+}
+
+// generator owns the targets, the client and the request mix.
 type generator struct {
-	base         string
+	// bases are the malecd replicas, walked round-robin per request on a
+	// counter independent of the mix rotation (a shared counter would
+	// correlate population with replica and skew the per-target split).
+	bases        []string
+	nextBase     atomic.Uint64
+	targets      []*targetStats // parallel to bases
 	client       *http.Client
 	schedule     []reqKind // weight-expanded, walked round-robin
 	next         atomic.Uint64
@@ -181,13 +197,16 @@ func (g *generator) body(kind reqKind) (path, payload string) {
 }
 
 // streamCampaign lazily submits the small shared campaign the stream
-// population follows, returning its handle.
+// population follows, returning its handle. The campaign is created on —
+// and streamed from — the first target only: a campaign handle lives on
+// the node that registered it, so the stream population pins there while
+// the other populations round-robin.
 func (g *generator) streamCampaign() (string, bool) {
 	g.streamOnce.Do(func() {
 		payload := fmt.Sprintf(
 			`{"configs":["Base1ldst","MALEC"],"benchmarks":["gzip"],"instructions":%d,"seeds":[1,2]}`,
 			g.instructions)
-		resp, err := g.client.Post(g.base+"/v1/campaigns", "application/json", strings.NewReader(payload))
+		resp, err := g.client.Post(g.bases[0]+"/v1/campaigns", "application/json", strings.NewReader(payload))
 		if err != nil {
 			return
 		}
@@ -221,7 +240,7 @@ func (g *generator) doStream() outcome {
 		return out
 	}
 	resp, err := g.client.Get(fmt.Sprintf("%s/v1/campaigns/%s/results?after=%d",
-		g.base, id, g.streamCursor.Load()))
+		g.bases[0], id, g.streamCursor.Load()))
 	if err != nil {
 		out.lat = time.Since(t0)
 		return out
@@ -261,10 +280,31 @@ func (g *generator) doStream() outcome {
 	return out
 }
 
-// do performs one request (plus up to g.retries backed-off retries after
-// shed responses), returning its outcome. Latency covers the whole
-// attempt chain — what the caller actually waited.
+// do performs one request against the next round-robin target, recording
+// it into that target's split.
 func (g *generator) do(kind reqKind) outcome {
+	ti := 0
+	if kind != kindStream && len(g.bases) > 1 {
+		ti = int(g.nextBase.Add(1) % uint64(len(g.bases)))
+	}
+	out := g.doTarget(g.bases[ti], kind)
+	ts := g.targets[ti]
+	ts.mu.Lock()
+	ts.requests++
+	if out.ok {
+		ts.latNs = append(ts.latNs, out.lat.Nanoseconds())
+	} else {
+		ts.errors++
+	}
+	ts.mu.Unlock()
+	return out
+}
+
+// doTarget performs one request (plus up to g.retries backed-off retries
+// after shed responses) against one target, returning its outcome.
+// Latency covers the whole attempt chain — what the caller actually
+// waited.
+func (g *generator) doTarget(base string, kind reqKind) outcome {
 	if kind == kindStream {
 		return g.doStream()
 	}
@@ -272,7 +312,7 @@ func (g *generator) do(kind reqKind) outcome {
 	t0 := time.Now()
 	var out outcome
 	for attempt := 0; ; attempt++ {
-		resp, err := g.client.Post(g.base+path, "application/json", strings.NewReader(payload))
+		resp, err := g.client.Post(base+path, "application/json", strings.NewReader(payload))
 		if err != nil {
 			out.lat = time.Since(t0)
 			return out
@@ -429,10 +469,23 @@ func (g *generator) runSlot(slot int, rps float64, d time.Duration) slotReport {
 	return rep
 }
 
+// targetReport is one replica's slice of the run: request count, error
+// rate and latency summary for the requests this target served.
+type targetReport struct {
+	URL       string  `json:"url"`
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+}
+
 // report is the top-level JSON document.
 type report struct {
 	Mode           string            `json:"mode"`
 	Target         string            `json:"target"`
+	Targets        []targetReport    `json:"targets"`
 	Mix            map[string]int    `json:"mix"`
 	Instructions   int               `json:"instructions"`
 	Slots          []slotReport      `json:"slots"`
@@ -499,6 +552,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		addr      = flag.String("addr", "http://127.0.0.1:8080", "malecd base URL")
+		targets   = flag.String("targets", "", "comma-separated malecd base URLs to round-robin load across (empty: just -addr; the first target hosts the stream population's campaign)")
 		mode      = flag.String("mode", "sweep", "load shape: fixed | sweep | burst")
 		startRPS  = flag.Float64("start-rps", 100, "starting (or base) offered RPS")
 		step      = flag.Float64("step", 100, "RPS increment per slot in sweep mode; saturation-search resolution")
@@ -524,8 +578,17 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "malecload: -mix:", err)
 		return 2
 	}
+	var bases []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			bases = append(bases, t)
+		}
+	}
+	if len(bases) == 0 {
+		bases = []string{strings.TrimRight(*addr, "/")}
+	}
 	g := &generator{
-		base: strings.TrimRight(*addr, "/"),
+		bases: bases,
 		client: &http.Client{
 			Timeout: *timeout,
 			Transport: &http.Transport{
@@ -540,6 +603,9 @@ func run() int {
 		inflight:     make(chan struct{}, *maxInfl),
 		retries:      *retries,
 	}
+	for range bases {
+		g.targets = append(g.targets, &targetStats{})
+	}
 	if g.seedBase == 0 {
 		g.seedBase = *seedBase2
 	}
@@ -548,24 +614,31 @@ func run() int {
 	}
 
 	if *warmup {
-		// Prime each population once so the hit/sweep mixes measure the
-		// cache-hit steady state, not one cold simulation; also proves
-		// the daemon is actually up before load starts.
+		// Prime each population once per target so the hit/sweep mixes
+		// measure the cache-hit steady state on every replica, not one
+		// cold simulation; also proves each daemon is up before load
+		// starts. The stream population pins to the first target, so it
+		// warms only there.
 		for name, kind := range kindNames {
 			if weights[name] == 0 {
 				continue
 			}
-			if out := g.do(kind); !out.ok {
-				fmt.Fprintf(os.Stderr, "malecload: warmup %s request failed after %v (is malecd up at %s?)\n",
-					name, out.lat.Round(time.Millisecond), *addr)
-				return 1
+			for _, base := range bases {
+				if out := g.doTarget(base, kind); !out.ok {
+					fmt.Fprintf(os.Stderr, "malecload: warmup %s request failed after %v (is malecd up at %s?)\n",
+						name, out.lat.Round(time.Millisecond), base)
+					return 1
+				}
+				if kind == kindStream {
+					break
+				}
 			}
 		}
 	}
 
 	rep := report{
 		Mode:         *mode,
-		Target:       *addr,
+		Target:       bases[0],
 		Mix:          weights,
 		Instructions: *instr,
 	}
@@ -645,6 +718,32 @@ func run() int {
 		return 2
 	}
 	rep.WallSeconds = time.Since(t0).Seconds()
+	for i, ts := range g.targets {
+		ts.mu.Lock()
+		tr := targetReport{URL: bases[i], Requests: ts.requests, Errors: ts.errors}
+		if ts.requests > 0 {
+			tr.ErrorRate = float64(ts.errors) / float64(ts.requests)
+		}
+		if n := len(ts.latNs); n > 0 {
+			sort.Slice(ts.latNs, func(a, b int) bool { return ts.latNs[a] < ts.latNs[b] })
+			var sum int64
+			for _, v := range ts.latNs {
+				sum += v
+			}
+			quant := func(q float64) float64 {
+				idx := int(math.Ceil(q*float64(n))) - 1
+				if idx < 0 {
+					idx = 0
+				}
+				return float64(ts.latNs[idx]) / 1e6
+			}
+			tr.P50Ms = quant(0.50)
+			tr.P99Ms = quant(0.99)
+			tr.MeanMs = float64(sum/int64(n)) / 1e6
+		}
+		ts.mu.Unlock()
+		rep.Targets = append(rep.Targets, tr)
+	}
 	for _, s := range rep.Slots {
 		rep.TotalLaunched += s.Launched
 		rep.TotalSucceeded += s.Succeeded

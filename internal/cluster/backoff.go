@@ -1,0 +1,33 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff returns the sleep before retry number attempt (0-based): base
+// doubling per attempt, capped at max, with full jitter in the upper half
+// of the window — the returned duration is uniform in [d/2, d], where d is
+// the capped exponential. The jitter decorrelates retry storms (a cluster
+// of callers that failed together never hammers the recovering peer in
+// lockstep) while the d/2 floor still guarantees real spacing.
+//
+// This is the one backoff policy shared by the campaign per-job retry loop
+// and the peer client's forwarded-call retries, so the two can never drift.
+func Backoff(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	d := max
+	// Guard the shift: past 30 doublings the exponential has long since
+	// saturated any sane cap.
+	if attempt < 30 {
+		if e := base << attempt; e < max {
+			d = e
+		}
+	}
+	return d/2 + rand.N(d/2+1)
+}

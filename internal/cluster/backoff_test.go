@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffBounds checks the jitter window: attempt n sleeps uniformly
+// in [d/2, d] where d is the capped exponential.
+func TestBackoffBounds(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	for attempt := 0; attempt < 12; attempt++ {
+		d := base << attempt
+		if d > max || d <= 0 {
+			d = max
+		}
+		for i := 0; i < 200; i++ {
+			got := Backoff(attempt, base, max)
+			if got < d/2 || got > d {
+				t.Fatalf("Backoff(%d) = %v, want in [%v, %v]", attempt, got, d/2, d)
+			}
+		}
+	}
+}
+
+// TestBackoffCap checks that huge attempt numbers saturate at the cap
+// instead of overflowing the shift.
+func TestBackoffCap(t *testing.T) {
+	for _, attempt := range []int{29, 30, 31, 63, 1000} {
+		got := Backoff(attempt, 50*time.Millisecond, 2*time.Second)
+		if got < time.Second || got > 2*time.Second {
+			t.Fatalf("Backoff(%d) = %v, want in [1s, 2s]", attempt, got)
+		}
+	}
+}
+
+// TestBackoffDefaults checks the degenerate-parameter guards.
+func TestBackoffDefaults(t *testing.T) {
+	if got := Backoff(0, 0, 0); got <= 0 {
+		t.Fatalf("Backoff with zero base/max = %v, want > 0", got)
+	}
+	// max below base is raised to base.
+	got := Backoff(0, 100*time.Millisecond, 10*time.Millisecond)
+	if got < 50*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("Backoff(max<base) = %v, want in [50ms, 100ms]", got)
+	}
+}

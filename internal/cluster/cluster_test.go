@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"malec/internal/config"
+	"malec/internal/cpu"
+	"malec/internal/faultinject"
+)
+
+// fakePeer is a scriptable peer: a /readyz whose verdict can flip and an
+// /internal/v1/point that can succeed (echoing the request key), fail
+// with a status, or stall.
+type fakePeer struct {
+	srv        *httptest.Server
+	ready      atomic.Bool
+	pointCalls atomic.Int64
+	failStatus atomic.Int64  // non-zero: point calls return this status
+	delay      atomic.Int64  // nanoseconds to stall each point call
+	cycles     atomic.Uint64 // Cycles value stamped into results
+}
+
+func newFakePeer(t *testing.T) *fakePeer {
+	t.Helper()
+	f := &fakePeer{}
+	f.ready.Store(true)
+	f.cycles.Store(12345)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !f.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /internal/v1/point", func(w http.ResponseWriter, r *http.Request) {
+		f.pointCalls.Add(1)
+		if d := f.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		if st := f.failStatus.Load(); st != 0 {
+			http.Error(w, "injected failure", int(st))
+			return
+		}
+		var req PointRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := PointResponse{
+			Key:    req.Key,
+			Source: "simulated",
+			Result: cpu.Result{Benchmark: req.Benchmark, Cycles: f.cycles.Load()},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// newTestCluster builds a started 2-node cluster (self is fictional, the
+// peer is the fake) with fast probes and no retry sleep worth noticing.
+func newTestCluster(t *testing.T, f *fakePeer, opts Options) *Cluster {
+	t.Helper()
+	opts.Self = "http://self.invalid:1"
+	opts.Peers = []string{f.srv.URL}
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = 10 * time.Millisecond
+	}
+	if opts.Rise == 0 {
+		opts.Rise = 1
+	}
+	if opts.RetryBase == 0 {
+		opts.RetryBase = time.Millisecond
+	}
+	if opts.RetryCap == 0 {
+		opts.RetryCap = 2 * time.Millisecond
+	}
+	c := New(opts)
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// waitPeerHealthy polls until the cluster marks the peer with the given
+// health, failing the test on timeout.
+func waitPeerHealthy(t *testing.T, c *Cluster, url string, want bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.PeerHealthy(url) == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("peer %s never became healthy=%v", url, want)
+}
+
+// peerOwnedKey returns a key whose ring owner is the given node.
+func peerOwnedKey(t *testing.T, c *Cluster, node string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("abc%06d:gzip:1000000:%d", i, i)
+		if c.Ring().Owner(k) == node {
+			return k
+		}
+	}
+	t.Fatal("no key owned by node found")
+	return ""
+}
+
+func testPointArgs() (config.Config, string, int, uint64) {
+	cfg, _ := config.Named("MALEC")
+	return cfg, "gzip", 100000, 1
+}
+
+// TestMembershipRiseFall drives the probe thresholds both directions.
+func TestMembershipRiseFall(t *testing.T) {
+	f := newFakePeer(t)
+	c := newTestCluster(t, f, Options{Rise: 2, Fall: 2})
+	waitPeerHealthy(t, c, f.srv.URL, true)
+	if got := c.Stats().PeersHealthy; got != 1 {
+		t.Fatalf("PeersHealthy = %d, want 1", got)
+	}
+	f.ready.Store(false)
+	waitPeerHealthy(t, c, f.srv.URL, false)
+	f.ready.Store(true)
+	waitPeerHealthy(t, c, f.srv.URL, true)
+}
+
+// TestRouteForwardsToOwner checks the happy path: a peer-owned point is
+// executed remotely, a self-owned point is declined to local execution.
+func TestRouteForwardsToOwner(t *testing.T) {
+	f := newFakePeer(t)
+	c := newTestCluster(t, f, Options{})
+	waitPeerHealthy(t, c, f.srv.URL, true)
+	cfg, bench, instr, seed := testPointArgs()
+
+	key := peerOwnedKey(t, c, f.srv.URL)
+	res, handled, err := c.Route(context.Background(), key, cfg, bench, instr, seed)
+	if err != nil || !handled {
+		t.Fatalf("Route(peer-owned) = handled=%v err=%v, want handled", handled, err)
+	}
+	if res.Cycles != 12345 {
+		t.Fatalf("forwarded result Cycles = %d, want the peer's 12345", res.Cycles)
+	}
+	if st := c.Stats(); st.Forwarded != 1 || st.Failovers != 0 {
+		t.Fatalf("stats = %+v, want Forwarded=1 Failovers=0", st)
+	}
+
+	selfKey := peerOwnedKey(t, c, c.Self())
+	_, handled, err = c.Route(context.Background(), selfKey, cfg, bench, instr, seed)
+	if err != nil || handled {
+		t.Fatalf("Route(self-owned) = handled=%v err=%v, want local", handled, err)
+	}
+	if st := c.Stats(); st.Forwarded != 1 || st.Failovers != 0 {
+		t.Fatalf("self-owned point touched counters: %+v", st)
+	}
+}
+
+// TestRouteFallsBackLocalWhenPeerDown checks "degraded, never down": a
+// peer-owned point with the owner unreachable is declined to local
+// execution and counted as a failover.
+func TestRouteFallsBackLocalWhenPeerDown(t *testing.T) {
+	f := newFakePeer(t)
+	f.ready.Store(false) // never passes a probe; peer starts unhealthy
+	c := newTestCluster(t, f, Options{})
+	cfg, bench, instr, seed := testPointArgs()
+	key := peerOwnedKey(t, c, f.srv.URL)
+	_, handled, err := c.Route(context.Background(), key, cfg, bench, instr, seed)
+	if err != nil || handled {
+		t.Fatalf("Route(owner down) = handled=%v err=%v, want local fallback", handled, err)
+	}
+	if st := c.Stats(); st.Failovers != 1 {
+		t.Fatalf("Failovers = %d, want 1", st.Failovers)
+	}
+	if f.pointCalls.Load() != 0 {
+		t.Fatalf("unhealthy peer received %d point calls", f.pointCalls.Load())
+	}
+}
+
+// TestBreakerOpensAndRecovers checks the circuit breaker: consecutive
+// point failures open it (no more calls reach the peer), and after the
+// cooldown a half-open trial success closes it again.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	f := newFakePeer(t)
+	c := newTestCluster(t, f, Options{
+		Retries:          1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	waitPeerHealthy(t, c, f.srv.URL, true)
+	cfg, bench, instr, seed := testPointArgs()
+	key := peerOwnedKey(t, c, f.srv.URL)
+
+	f.failStatus.Store(http.StatusInternalServerError)
+	// 2 attempts (1 retry) ≥ threshold 2: the breaker opens during this
+	// Route, which falls back to local.
+	_, handled, err := c.Route(context.Background(), key, cfg, bench, instr, seed)
+	if err != nil || handled {
+		t.Fatalf("Route(failing peer) = handled=%v err=%v, want local fallback", handled, err)
+	}
+	st := c.Stats()
+	if st.BreakersOpen != 1 || st.ForwardErrors < 2 {
+		t.Fatalf("stats after failures = %+v, want BreakersOpen=1, ForwardErrors>=2", st)
+	}
+
+	// While open, routing skips the peer without an HTTP call.
+	calls := f.pointCalls.Load()
+	if _, handled, _ := c.Route(context.Background(), key, cfg, bench, instr, seed); handled {
+		t.Fatal("Route succeeded through an open breaker")
+	}
+	if f.pointCalls.Load() != calls {
+		t.Fatalf("open breaker let %d calls through", f.pointCalls.Load()-calls)
+	}
+
+	// After the cooldown the half-open trial succeeds and closes it.
+	f.failStatus.Store(0)
+	time.Sleep(60 * time.Millisecond)
+	_, handled, err = c.Route(context.Background(), key, cfg, bench, instr, seed)
+	if err != nil || !handled {
+		t.Fatalf("Route(half-open trial) = handled=%v err=%v, want forwarded", handled, err)
+	}
+	if st := c.Stats(); st.BreakersOpen != 0 {
+		t.Fatalf("breaker still open after successful trial: %+v", st)
+	}
+}
+
+// TestHedgedRequest checks tail hedging: a stalled first call is raced by
+// a second identical one, the success wins, and the hedge is counted.
+func TestHedgedRequest(t *testing.T) {
+	f := newFakePeer(t)
+	f.delay.Store(int64(100 * time.Millisecond))
+	c := newTestCluster(t, f, Options{HedgeAfter: 10 * time.Millisecond})
+	waitPeerHealthy(t, c, f.srv.URL, true)
+	cfg, bench, instr, seed := testPointArgs()
+	key := peerOwnedKey(t, c, f.srv.URL)
+	res, handled, err := c.Route(context.Background(), key, cfg, bench, instr, seed)
+	if err != nil || !handled {
+		t.Fatalf("Route(hedged) = handled=%v err=%v, want forwarded", handled, err)
+	}
+	if res.Cycles != 12345 {
+		t.Fatalf("hedged result Cycles = %d, want 12345", res.Cycles)
+	}
+	st := c.Stats()
+	if st.Hedges < 1 {
+		t.Fatalf("Hedges = %d, want >= 1", st.Hedges)
+	}
+	if f.pointCalls.Load() < 2 {
+		t.Fatalf("peer saw %d point calls, want the hedge to have launched", f.pointCalls.Load())
+	}
+}
+
+// TestRoutePeerFailpoints checks the chaos path: with the peer-dial
+// failpoint always firing, every forward fails and routing degrades to
+// local execution — and with it disarmed again, forwarding resumes.
+func TestRoutePeerFailpoints(t *testing.T) {
+	f := newFakePeer(t)
+	c := newTestCluster(t, f, Options{Retries: 1, BreakerThreshold: 100})
+	waitPeerHealthy(t, c, f.srv.URL, true)
+	cfg, bench, instr, seed := testPointArgs()
+	key := peerOwnedKey(t, c, f.srv.URL)
+
+	faultinject.PeerDial.Arm(1.0)
+	defer faultinject.PeerDial.Disarm()
+	_, handled, err := c.Route(context.Background(), key, cfg, bench, instr, seed)
+	if err != nil || handled {
+		t.Fatalf("Route(dial faults) = handled=%v err=%v, want local fallback", handled, err)
+	}
+	st := c.Stats()
+	if st.ForwardErrors < 2 || st.Failovers != 1 {
+		t.Fatalf("stats under faults = %+v, want ForwardErrors>=2 Failovers=1", st)
+	}
+	if f.pointCalls.Load() != 0 {
+		t.Fatalf("dial failpoint let %d calls reach the peer", f.pointCalls.Load())
+	}
+
+	faultinject.PeerDial.Disarm()
+	_, handled, err = c.Route(context.Background(), key, cfg, bench, instr, seed)
+	if err != nil || !handled {
+		t.Fatalf("Route(disarmed) = handled=%v err=%v, want forwarded", handled, err)
+	}
+}
+
+// TestRouteCancelledContext checks that the caller's own cancellation is
+// surfaced as an error, not silently converted to a local fallback (the
+// engine must see the cancellation).
+func TestRouteCancelledContext(t *testing.T) {
+	f := newFakePeer(t)
+	f.delay.Store(int64(200 * time.Millisecond))
+	c := newTestCluster(t, f, Options{})
+	waitPeerHealthy(t, c, f.srv.URL, true)
+	cfg, bench, instr, seed := testPointArgs()
+	key := peerOwnedKey(t, c, f.srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := c.Route(ctx, key, cfg, bench, instr, seed)
+	if err == nil {
+		t.Fatal("Route(cancelled ctx) returned nil error")
+	}
+}

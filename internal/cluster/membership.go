@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// peer is one remote member's live state: health as seen by the periodic
+// /readyz probes, plus a circuit breaker fed by actual forwarded calls.
+// The two are deliberately separate signals — a peer can answer /readyz
+// while its point API fails (version skew, a wedged handler); the breaker
+// catches what the probe can't.
+type peer struct {
+	url string
+
+	// healthy is the probe verdict: flipped up after `rise` consecutive
+	// successful probes, down after `fall` consecutive failures. Peers
+	// start unhealthy — a node that never answered a probe never receives
+	// a forward (degraded-but-local beats forwarding into the void).
+	healthy atomic.Bool
+	// okStreak/failStreak are the probe loop's consecutive counters,
+	// touched only by that peer's probe goroutine.
+	okStreak, failStreak int
+
+	// consecFails counts consecutive forwarded-call failures; at the
+	// breaker threshold the peer is opened (openUntil) for a cooldown.
+	// After the cooldown one trial call is let through (half-open): a
+	// success resets everything, a failure re-opens immediately.
+	consecFails atomic.Int64
+	openUntil   atomic.Int64 // unix nanos; 0 = closed
+}
+
+// available reports whether the peer should receive a forwarded call right
+// now: probe-healthy and breaker not open.
+func (p *peer) available(now time.Time) bool {
+	if !p.healthy.Load() {
+		return false
+	}
+	return p.openUntil.Load() <= now.UnixNano()
+}
+
+// breakerOpen reports whether the breaker is holding calls off.
+func (p *peer) breakerOpen(now time.Time) bool {
+	return p.openUntil.Load() > now.UnixNano()
+}
+
+// success records a successful forwarded call: the breaker closes.
+func (p *peer) success() {
+	p.consecFails.Store(0)
+	p.openUntil.Store(0)
+}
+
+// failure records a failed forwarded call; at the threshold the breaker
+// opens for the cooldown.
+func (p *peer) failure(threshold int, cooldown time.Duration) {
+	if p.consecFails.Add(1) >= int64(threshold) {
+		p.openUntil.Store(time.Now().Add(cooldown).UnixNano())
+	}
+}
+
+// probeLoop drives one peer's health: an immediate probe at startup (so a
+// live cluster converges in one round trip, not one interval), then one
+// probe per interval until the cluster stops.
+func (c *Cluster) probeLoop(p *peer) {
+	defer c.wg.Done()
+	c.probeOnce(p)
+	t := time.NewTicker(c.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeOnce(p)
+		}
+	}
+}
+
+// probeOnce performs one /readyz round trip and applies the rise/fall
+// thresholds. A draining or dead peer fails its probe, so load balancers
+// and this membership view converge on the same signal.
+func (c *Cluster) probeOnce(p *peer) {
+	err := c.client.Ready(p.url, c.opts.ProbeTimeout)
+	if err == nil {
+		p.failStreak = 0
+		p.okStreak++
+		if !p.healthy.Load() && p.okStreak >= c.opts.Rise {
+			p.healthy.Store(true)
+		}
+		return
+	}
+	p.okStreak = 0
+	p.failStreak++
+	if p.healthy.Load() && p.failStreak >= c.opts.Fall {
+		p.healthy.Store(false)
+	}
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys returns n synthetic point keys shaped like real engine keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("digest%08x:gzip:1000000:%d", i*2654435761, i)
+	}
+	return keys
+}
+
+// TestRingSpread checks rendezvous uniformity:
+// over a large key population, no node's share exceeds another's by more
+// than 25%.
+func TestRingSpread(t *testing.T) {
+	nodes := []string{
+		"http://10.0.0.1:8080",
+		"http://10.0.0.2:8080",
+		"http://10.0.0.3:8080",
+		"http://10.0.0.4:8080",
+	}
+	r := NewRing(nodes)
+	counts := make(map[string]int, len(nodes))
+	keys := testKeys(20000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	min, max := len(keys), 0
+	for _, n := range nodes {
+		c := counts[n]
+		if c == 0 {
+			t.Fatalf("node %s owns no keys", n)
+		}
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if ratio := float64(max) / float64(min); ratio >= 1.25 {
+		t.Fatalf("owner share spread max/min = %.3f, want < 1.25 (counts %v)", ratio, counts)
+	}
+}
+
+// TestRingRebalance checks the consistent-hashing contract: removing one
+// of N members re-homes only the keys it owned (~1/N of the space) and
+// never moves a key between survivors.
+func TestRingRebalance(t *testing.T) {
+	nodes := []string{
+		"http://10.0.0.1:8080",
+		"http://10.0.0.2:8080",
+		"http://10.0.0.3:8080",
+		"http://10.0.0.4:8080",
+		"http://10.0.0.5:8080",
+	}
+	removed := nodes[2]
+	survivors := append(append([]string(nil), nodes[:2]...), nodes[3:]...)
+	before := NewRing(nodes)
+	after := NewRing(survivors)
+
+	keys := testKeys(20000)
+	rehomed := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == removed {
+			rehomed++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %s moved between survivors: %s -> %s", k, was, is)
+		}
+	}
+	// The removed node owned ~1/5 of the space; allow generous slack for
+	// hash variance at 64 vnodes.
+	frac := float64(rehomed) / float64(len(keys))
+	if frac < 0.10 || frac > 0.35 {
+		t.Fatalf("re-homed fraction %.3f, want ~1/%d (0.10..0.35)", frac, len(nodes))
+	}
+}
+
+// TestRingOwnersOrder checks that Owners returns distinct members, starts
+// with the owner, and is identical however the member list was ordered —
+// every node must agree on the failover preference order.
+func TestRingOwnersOrder(t *testing.T) {
+	nodes := []string{"http://c:1", "http://a:1", "http://b:1"}
+	r1 := NewRing(nodes)
+	r2 := NewRing([]string{nodes[2], nodes[0], nodes[1]})
+	for _, k := range testKeys(200) {
+		o1 := r1.Owners(k, 3)
+		o2 := r2.Owners(k, 3)
+		if len(o1) != 3 {
+			t.Fatalf("Owners(%q, 3) = %v, want 3 distinct nodes", k, o1)
+		}
+		if o1[0] != r1.Owner(k) {
+			t.Fatalf("Owners(%q)[0] = %s, Owner = %s", k, o1[0], r1.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range o1 {
+			if seen[n] {
+				t.Fatalf("Owners(%q) repeats %s: %v", k, n, o1)
+			}
+			seen[n] = true
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("preference order differs by construction order: %v vs %v", o1, o2)
+			}
+		}
+	}
+}
+
+// TestRingOwnersBounds covers the degenerate shapes.
+func TestRingOwnersBounds(t *testing.T) {
+	r := NewRing([]string{"http://a:1"})
+	if got := r.Owner("k"); got != "http://a:1" {
+		t.Fatalf("single-node Owner = %q", got)
+	}
+	if got := r.Owners("k", 5); len(got) != 1 {
+		t.Fatalf("Owners beyond member count = %v, want 1 entry", got)
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(k, 0) = %v, want nil", got)
+	}
+	empty := NewRing(nil)
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty-ring Owner = %q, want empty", got)
+	}
+	if got := empty.Owners("k", 2); got != nil {
+		t.Fatalf("empty-ring Owners = %v, want nil", got)
+	}
+}

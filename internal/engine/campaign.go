@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"malec/internal/cluster"
 	"malec/internal/config"
 	"malec/internal/cpu"
 	"malec/internal/trace"
@@ -189,14 +190,11 @@ func (e *Engine) RunCampaignContext(ctx context.Context, spec CampaignSpec) (*Ca
 	return &Campaign{Spec: spec, Results: results}, nil
 }
 
-// jobBackoff is the sleep before retry number attempt (0-based):
-// 50ms doubling per attempt, capped at 2s.
+// jobBackoff is the sleep before retry number attempt (0-based): the
+// shared cluster backoff policy — 50ms doubling per attempt, capped at 2s,
+// with full jitter in the upper half of the window.
 func jobBackoff(attempt int) time.Duration {
-	d := 50 * time.Millisecond << attempt
-	if d > 2*time.Second {
-		d = 2 * time.Second
-	}
-	return d
+	return cluster.Backoff(attempt, 50*time.Millisecond, 2*time.Second)
 }
 
 // runJobs executes an arbitrary job list through the engine with bounded

@@ -1,0 +1,35 @@
+package metrics
+
+import "runtime"
+
+// RegisterBuildInfo registers the conventional malec_build_info gauge: a
+// constant 1 whose labels carry the build's identity, so dashboards can
+// join any other series against version and Go toolchain (the standard
+// Prometheus info-metric idiom).
+func RegisterBuildInfo(r *Registry, version string) {
+	r.GaugeFunc("malec_build_info",
+		"Build identity; constant 1, labels carry the version.",
+		func() float64 { return 1 },
+		Label{Name: "version", Value: version},
+		Label{Name: "goversion", Value: runtime.Version()},
+	)
+}
+
+// RegisterRuntime registers Go runtime health gauges: goroutine count (the
+// first number to look at when a server leaks work) and live heap bytes.
+// Sampled at scrape time; ReadMemStats costs a brief stop-the-world, which
+// is noise at human scrape intervals.
+func RegisterRuntime(r *Registry) {
+	r.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) },
+	)
+	r.GaugeFunc("go_heap_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		},
+	)
+}
